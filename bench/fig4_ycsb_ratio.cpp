@@ -1,0 +1,73 @@
+// Figure 4 (a, b): YCSB throughput and per-op latency vs write ratio.
+// Single client in California; 1000 records, 10K ops, Zipfian keys;
+// ZooKeeper vs ZooKeeper+observers vs WanKeeper across the paper's three
+// AWS regions (leader / L2 in Virginia).
+//
+// Paper shape to reproduce: WanKeeper ~10x ZK throughput at 50% writes,
+// ~3x at 5%; slightly *below* ZK at 0% writes (marshalling overhead);
+// ZK writes ~2 WAN RTTs, ZK+obs ~1 RTT, WanKeeper a couple ms once hot.
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "ycsb/runner.h"
+
+using namespace wankeeper;
+using namespace wankeeper::ycsb;
+
+int main(int argc, char** argv) {
+  std::uint64_t ops = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") ops = 2000;
+  }
+
+  std::printf("=== Fig 4: YCSB read/write ratio, 1 client (California) ===\n");
+  TablePrinter table({"write%", "system", "ops/sec", "read avg ms",
+                      "write avg ms", "write p80 ms", "local wr%"});
+
+  const double write_ratios[] = {0.0, 0.05, 0.10, 0.25, 0.50};
+  double zk_tput[5] = {0};
+  double wk_tput[5] = {0};
+  int row = 0;
+  for (double wr : write_ratios) {
+    for (SystemKind sys : {SystemKind::kZooKeeper, SystemKind::kZooKeeperObserver,
+                           SystemKind::kWanKeeper}) {
+      RunConfig cfg;
+      cfg.system = sys;
+      ClientSpec client;
+      client.site = kCalifornia;
+      client.shared_fraction = 0.0;  // single client: it loads its own records
+      client.workload.record_count = 1000;
+      client.workload.op_count = ops;
+      client.workload.write_fraction = wr;
+      client.workload.seed = 42;
+      cfg.clients = {client};
+      const RunResult r = run_experiment(cfg);
+      if (sys == SystemKind::kZooKeeper) zk_tput[row] = r.total_throughput;
+      if (sys == SystemKind::kWanKeeper) wk_tput[row] = r.total_throughput;
+      table.row({TablePrinter::num(wr * 100, 0), system_name(sys),
+                 TablePrinter::num(r.total_throughput, 1),
+                 TablePrinter::num(r.reads.mean_ms(), 2),
+                 TablePrinter::num(r.writes.mean_ms(), 2),
+                 TablePrinter::num(
+                     static_cast<double>(r.writes.percentile_us(0.8)) / 1000.0, 2),
+                 sys == SystemKind::kWanKeeper
+                     ? TablePrinter::num(r.local_write_fraction() * 100, 0)
+                     : "-"});
+      if (sys == SystemKind::kWanKeeper && !r.token_audit_clean) {
+        std::printf("!! token audit violations\n");
+        return 1;
+      }
+    }
+    ++row;
+  }
+
+  std::printf("\nSpeedup WanKeeper vs plain ZooKeeper:\n");
+  for (int i = 0; i < 5; ++i) {
+    if (zk_tput[i] > 0) {
+      std::printf("  %3.0f%% writes: %.1fx\n", write_ratios[i] * 100,
+                  wk_tput[i] / zk_tput[i]);
+    }
+  }
+  return 0;
+}

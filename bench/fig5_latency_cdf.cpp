@@ -1,0 +1,62 @@
+// Figure 5: CDF of write-request latency for 50% and 100% write workloads
+// (single client in California). Paper shape: 80% (50%-write) and 90%
+// (100%-write) of WanKeeper writes complete in a couple of milliseconds;
+// ZooKeeper+observer writes cluster at 1 WAN RTT; plain ZooKeeper at 2 RTT.
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "ycsb/runner.h"
+
+using namespace wankeeper;
+using namespace wankeeper::ycsb;
+
+namespace {
+
+RunResult run_one(SystemKind sys, double write_fraction, std::uint64_t ops) {
+  RunConfig cfg;
+  cfg.system = sys;
+  ClientSpec client;
+  client.site = kCalifornia;
+  client.shared_fraction = 0.0;
+  client.workload.record_count = 1000;
+  client.workload.op_count = ops;
+  client.workload.write_fraction = write_fraction;
+  client.workload.seed = 42;
+  cfg.clients = {client};
+  return run_experiment(cfg);
+}
+
+void print_cdf(const char* label, const LatencyRecorder& lat) {
+  std::printf("\n-- %s (n=%zu) --\n", label, lat.count());
+  std::printf("%-12s %s\n", "latency_ms", "cumulative");
+  for (const auto& [ms, frac] : lat.cdf(20)) {
+    std::printf("%-12.2f %.3f\n", ms, frac);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t ops = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") ops = 2000;
+  }
+  std::printf("=== Fig 5: write latency CDF, 1 client (California) ===\n");
+
+  for (double wf : {0.5, 1.0}) {
+    std::printf("\n### %.0f%% write workload ###\n", wf * 100);
+    for (SystemKind sys : {SystemKind::kZooKeeper, SystemKind::kZooKeeperObserver,
+                           SystemKind::kWanKeeper}) {
+      const RunResult r = run_one(sys, wf, ops);
+      const std::string label = std::string(system_name(sys)) + " writes";
+      print_cdf(label.c_str(), r.writes);
+      std::printf("   p50=%.2fms p80=%.2fms p90=%.2fms p99=%.2fms\n",
+                  r.writes.percentile_us(0.5) / 1000.0,
+                  r.writes.percentile_us(0.8) / 1000.0,
+                  r.writes.percentile_us(0.9) / 1000.0,
+                  r.writes.percentile_us(0.99) / 1000.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8b: BookKeeper geo-distributed write throughput vs writer
+// duration. Four writers share one logical log (3 in California, 1 in
+// Frankfurt; bookies in every region; no writers in Virginia) and hand off
+// via a lock in the coordination service.
+//
+// Paper shape: centralized ZK is the bottleneck, worst at short durations;
+// ZK+observers helps; WanKeeper adds local coordination writes in the log's
+// home region (~45% over ZK+obs at 0.4 s); all converge as the duration
+// grows and coordination leaves the critical path.
+#include <cstdio>
+#include <string>
+
+#include "bookkeeper/writer.h"
+#include "common/stats.h"
+
+using namespace wankeeper;
+using namespace wankeeper::bk;
+
+int main(int argc, char** argv) {
+  Time horizon = 60 * kSecond;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") horizon = 20 * kSecond;
+  }
+
+  std::printf("=== Fig 8b: BookKeeper geo writers (3 CA + 1 FRA) ===\n");
+  std::printf("Lock recipes: 'simple' = create/watch lock (waiters race; home-\n"
+              "region writers react a WAN RTT sooner, so turns concentrate in\n"
+              "California); 'fair' = sequential-znode FIFO queue (strict 3:1\n"
+              "rotation). The paper's ~1.45x at 0.4s falls between the two.\n\n");
+  TablePrinter table({"duration s", "system", "entries/s", "rounds",
+                      "handoff ms"});
+
+  struct Variant {
+    ycsb::SystemKind sys;
+    bool fair;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {ycsb::SystemKind::kZooKeeper, false, "ZK"},
+      {ycsb::SystemKind::kZooKeeperObserver, false, "ZK+obs"},
+      {ycsb::SystemKind::kWanKeeper, false, "WK simple"},
+      {ycsb::SystemKind::kWanKeeper, true, "WK fair"},
+  };
+
+  double zko_04 = 0, wk_04 = 0;
+  for (Time duration : {200 * kMillisecond, 400 * kMillisecond, 800 * kMillisecond,
+                        1600 * kMillisecond, 3200 * kMillisecond}) {
+    for (const auto& v : variants) {
+      BkBenchConfig cfg;
+      cfg.system = v.sys;
+      cfg.fair_lock = v.fair;
+      cfg.write_duration = duration;
+      cfg.horizon = horizon;
+      const BkBenchResult r = run_bk_bench(cfg);
+      table.row({TablePrinter::num(static_cast<double>(duration) / kSecond, 1),
+                 v.label, TablePrinter::num(r.entries_per_sec, 0),
+                 std::to_string(r.total_rounds),
+                 TablePrinter::num(r.mean_handoff_ms, 1)});
+      if (duration == 400 * kMillisecond) {
+        if (v.sys == ycsb::SystemKind::kZooKeeperObserver) zko_04 = r.entries_per_sec;
+        if (v.sys == ycsb::SystemKind::kWanKeeper && !v.fair) wk_04 = r.entries_per_sec;
+      }
+      if (!r.audit_clean) {
+        std::printf("!! token audit violations\n");
+        return 1;
+      }
+    }
+  }
+  if (zko_04 > 0) {
+    std::printf("\nAt 0.4s, WanKeeper(simple) / ZK+obs = %.2fx (paper: ~1.45x)\n",
+                wk_04 / zko_04);
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot single-node components:
+// the Zipfian key chooser, transaction marshalling, the znode tree, the
+// token tables, and the Markov predictor. These bound the CPU costs behind
+// the simulator's service-time model.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "store/datatree.h"
+#include "wankeeper/predictor.h"
+#include "wankeeper/token_manager.h"
+#include "zk/server.h"
+
+namespace wankeeper {
+namespace {
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Zipfian z(static_cast<std::uint64_t>(state.range(0)), 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(100000);
+
+void BM_TxnEncodeDecode(benchmark::State& state) {
+  store::Txn txn;
+  txn.type = store::TxnType::kSetData;
+  txn.zxid = make_zxid(3, 1234);
+  txn.path = "/ycsb/usertable/user4392857";
+  txn.data.assign(static_cast<std::size_t>(state.range(0)), 0x61);
+  txn.version = 17;
+  for (auto _ : state) {
+    const auto bytes = txn.encode();
+    benchmark::DoNotOptimize(store::Txn::decode(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TxnEncodeDecode)->Arg(100)->Arg(1024);
+
+void BM_EnvelopeRoundTrip(benchmark::State& state) {
+  zk::Envelope env;
+  env.session = 12345;
+  env.xid = 678;
+  env.txn.type = store::TxnType::kCreate;
+  env.txn.path = "/services/search/instance-0000000042";
+  env.txn.data.assign(128, 0x62);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zk::Envelope::decode(env.encode()));
+  }
+}
+BENCHMARK(BM_EnvelopeRoundTrip);
+
+void BM_DataTreeCreate(benchmark::State& state) {
+  std::uint64_t i = 0;
+  store::DataTree tree;
+  for (auto _ : state) {
+    store::Txn txn;
+    txn.type = store::TxnType::kCreate;
+    txn.zxid = ++i;
+    txn.path = "/n" + std::to_string(i);
+    benchmark::DoNotOptimize(tree.apply(txn, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DataTreeCreate);
+
+void BM_DataTreeGetData(benchmark::State& state) {
+  store::DataTree tree;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    store::Txn txn;
+    txn.type = store::TxnType::kCreate;
+    txn.zxid = i + 1;
+    txn.path = "/n" + std::to_string(i);
+    txn.data.assign(100, 0x61);
+    tree.apply(txn, 0);
+  }
+  Rng rng(2);
+  std::vector<std::uint8_t> data;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.get_data("/n" + std::to_string(rng.uniform(n)), &data));
+  }
+}
+BENCHMARK(BM_DataTreeGetData)->Arg(1000)->Arg(100000);
+
+void BM_DataTreeDigest(benchmark::State& state) {
+  store::DataTree tree;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    store::Txn txn;
+    txn.type = store::TxnType::kCreate;
+    txn.zxid = i + 1;
+    txn.path = "/n" + std::to_string(i);
+    txn.data.assign(100, 0x61);
+    tree.apply(txn, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.digest());
+  }
+}
+BENCHMARK(BM_DataTreeDigest);
+
+void BM_BrokerTokenAccess(benchmark::State& state) {
+  wk::BrokerTokenTable table;
+  wk::ConsecutivePolicy policy(2);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto key = "node:/k" + std::to_string(rng.uniform(1000));
+    benchmark::DoNotOptimize(
+        table.record_access(key, static_cast<SiteId>(rng.uniform(3)), policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BrokerTokenAccess);
+
+void BM_PredictorObserve(benchmark::State& state) {
+  wk::MarkovPredictor predictor(1024);
+  Rng rng(4);
+  for (auto _ : state) {
+    predictor.observe("rec" + std::to_string(rng.uniform(100)),
+                      static_cast<SiteId>(rng.uniform(3)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredictorObserve);
+
+}  // namespace
+}  // namespace wankeeper
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Geo-replicated shared log (the BookKeeper use case of paper §IV-B):
+// writers in different regions append to one logical log, coordinating
+// ownership through WanKeeper. The log's home region enjoys local
+// coordination; a remote writer can still take over.
+//
+//   ./build/examples/geo_log
+#include <cstdio>
+
+#include "bookkeeper/writer.h"
+
+using namespace wankeeper;
+using namespace wankeeper::bk;
+
+int main() {
+  std::printf("Geo-distributed BookKeeper log, 3 writers in California + 1 in\n"
+              "Frankfurt, bookies in every region, WanKeeper coordination.\n\n");
+
+  for (auto sys : {ycsb::SystemKind::kZooKeeperObserver, ycsb::SystemKind::kWanKeeper}) {
+    BkBenchConfig cfg;
+    cfg.system = sys;
+    cfg.write_duration = 500 * kMillisecond;
+    cfg.horizon = 30 * kSecond;
+    const BkBenchResult r = run_bk_bench(cfg);
+    std::printf("%-10s  %7.0f entries/s  %3llu writer rounds  "
+                "mean hand-off %.0f ms\n",
+                ycsb::system_name(sys), r.entries_per_sec,
+                static_cast<unsigned long long>(r.total_rounds),
+                r.mean_handoff_ms);
+  }
+
+  std::printf("\nWanKeeper keeps the lock and log-metadata tokens in the\n"
+              "home region, so most writer hand-offs never cross the WAN.\n");
+  return 0;
+}

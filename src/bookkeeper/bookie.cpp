@@ -1,0 +1,48 @@
+#include "bookkeeper/bookie.h"
+
+namespace wankeeper::bk {
+
+Bookie::Bookie(sim::Simulator& sim, std::string name, Time add_latency)
+    : Actor(sim, std::move(name)), add_latency_(add_latency) {}
+
+void Bookie::on_message(NodeId from, const sim::MessagePtr& msg) {
+  if (const auto* m = dynamic_cast<const AddEntryMsg*>(msg.get())) {
+    const LedgerId ledger = m->ledger;
+    const EntryId entry = m->entry;
+    auto payload = m->payload;
+    // Journal write before the ack, as a real bookie does.
+    set_timer(add_latency_, [this, from, ledger, entry, payload]() {
+      ledgers_[ledger][entry] = payload;
+      ++entries_stored_;
+      auto ack = std::make_shared<AddEntryAckMsg>();
+      ack->ledger = ledger;
+      ack->entry = entry;
+      net_->send(id(), from, std::move(ack));
+    });
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ReadEntryMsg*>(msg.get())) {
+    auto reply = std::make_shared<ReadEntryReplyMsg>();
+    reply->ledger = m->ledger;
+    reply->entry = m->entry;
+    const auto lit = ledgers_.find(m->ledger);
+    if (lit != ledgers_.end()) {
+      const auto eit = lit->second.find(m->entry);
+      if (eit != lit->second.end()) {
+        reply->found = true;
+        reply->payload = eit->second;
+      }
+    }
+    net_->send(id(), from, std::move(reply));
+    return;
+  }
+}
+
+bool Bookie::has_entry(LedgerId ledger, EntryId entry) const {
+  const auto lit = ledgers_.find(ledger);
+  return lit != ledgers_.end() && lit->second.count(entry) != 0;
+}
+
+void Bookie::on_crash() { ledgers_.clear(); }
+
+}  // namespace wankeeper::bk

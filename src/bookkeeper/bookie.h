@@ -1,0 +1,70 @@
+// Bookies: BookKeeper's ledger-storage servers. Deliberately simple — the
+// paper's BookKeeper experiment stresses only the *coordination* path
+// (ledger metadata and the writer lock live in ZooKeeper/WanKeeper); entry
+// storage is local to each region and off the coordination critical path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/actor.h"
+#include "sim/network.h"
+
+namespace wankeeper::bk {
+
+using LedgerId = std::int64_t;
+using EntryId = std::int64_t;
+
+struct AddEntryMsg : sim::Message {
+  LedgerId ledger = 0;
+  EntryId entry = 0;
+  std::vector<std::uint8_t> payload;
+  std::size_t wire_size() const override { return 32 + payload.size(); }
+  const char* name() const override { return "bk.addEntry"; }
+};
+
+struct AddEntryAckMsg : sim::Message {
+  LedgerId ledger = 0;
+  EntryId entry = 0;
+  const char* name() const override { return "bk.addEntryAck"; }
+};
+
+struct ReadEntryMsg : sim::Message {
+  LedgerId ledger = 0;
+  EntryId entry = 0;
+  const char* name() const override { return "bk.readEntry"; }
+};
+
+struct ReadEntryReplyMsg : sim::Message {
+  LedgerId ledger = 0;
+  EntryId entry = 0;
+  bool found = false;
+  std::vector<std::uint8_t> payload;
+  std::size_t wire_size() const override { return 32 + payload.size(); }
+  const char* name() const override { return "bk.readEntryReply"; }
+};
+
+class Bookie : public sim::Actor {
+ public:
+  Bookie(sim::Simulator& sim, std::string name, Time add_latency = 200 * kMicrosecond);
+
+  void set_network(sim::Network& net) { net_ = &net; }
+
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+
+  std::uint64_t entries_stored() const { return entries_stored_; }
+  bool has_entry(LedgerId ledger, EntryId entry) const;
+
+ protected:
+  void on_crash() override;
+
+ private:
+  sim::Network* net_ = nullptr;
+  Time add_latency_;  // fsync + journal model
+  std::map<LedgerId, std::map<EntryId, std::vector<std::uint8_t>>> ledgers_;
+  std::uint64_t entries_stored_ = 0;
+};
+
+}  // namespace wankeeper::bk

@@ -1,0 +1,55 @@
+#include "bookkeeper/ledger.h"
+
+namespace wankeeper::bk {
+
+LedgerWriter::LedgerWriter(sim::Simulator& sim, std::string name,
+                           std::vector<NodeId> ensemble, std::size_t write_quorum,
+                           std::size_t payload_bytes)
+    : Actor(sim, std::move(name)),
+      ensemble_(std::move(ensemble)),
+      write_quorum_(write_quorum),
+      payload_(payload_bytes, 0x62) {}
+
+void LedgerWriter::open(LedgerId ledger) {
+  ledger_ = ledger;
+  next_entry_ = 0;
+}
+
+void LedgerWriter::write_until(Time deadline, std::function<void(std::uint64_t)> done) {
+  deadline_ = deadline;
+  done_ = std::move(done);
+  writing_ = true;
+  round_entries_ = 0;
+  send_next();
+}
+
+void LedgerWriter::send_next() {
+  if (now() >= deadline_) {
+    writing_ = false;
+    auto done = std::move(done_);
+    if (done) done(round_entries_);
+    return;
+  }
+  acks_.clear();
+  for (NodeId bookie : ensemble_) {
+    auto m = std::make_shared<AddEntryMsg>();
+    m->ledger = ledger_;
+    m->entry = next_entry_;
+    m->payload = payload_;
+    net_->send(id(), bookie, std::move(m));
+  }
+}
+
+void LedgerWriter::on_message(NodeId from, const sim::MessagePtr& msg) {
+  const auto* ack = dynamic_cast<const AddEntryAckMsg*>(msg.get());
+  if (ack == nullptr || !writing_) return;
+  if (ack->ledger != ledger_ || ack->entry != next_entry_) return;
+  acks_.insert(from);
+  if (acks_.size() < write_quorum_) return;
+  ++next_entry_;
+  ++round_entries_;
+  ++total_entries_;
+  send_next();
+}
+
+}  // namespace wankeeper::bk

@@ -1,0 +1,51 @@
+// Client-side ledger writer: streams entries to an ensemble of bookies
+// with a write quorum, closed-loop (entry n+1 is sent once n reaches its
+// quorum), mirroring the BookKeeper client's add path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bookkeeper/bookie.h"
+
+namespace wankeeper::bk {
+
+class LedgerWriter : public sim::Actor {
+ public:
+  LedgerWriter(sim::Simulator& sim, std::string name,
+               std::vector<NodeId> ensemble, std::size_t write_quorum,
+               std::size_t payload_bytes = 1024);
+
+  void set_network(sim::Network& net) { net_ = &net; }
+
+  // Begin a new ledger; entry ids restart from 0.
+  void open(LedgerId ledger);
+  // Add entries until `deadline`, then call `done(entries_written)`.
+  // Closed-loop: respects the bookie ack round trip per entry.
+  void write_until(Time deadline, std::function<void(std::uint64_t)> done);
+
+  std::uint64_t total_entries() const { return total_entries_; }
+  LedgerId current_ledger() const { return ledger_; }
+
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void send_next();
+
+  sim::Network* net_ = nullptr;
+  std::vector<NodeId> ensemble_;
+  std::size_t write_quorum_;
+  std::vector<std::uint8_t> payload_;
+  LedgerId ledger_ = -1;
+  EntryId next_entry_ = 0;
+  std::set<NodeId> acks_;
+  Time deadline_ = 0;
+  bool writing_ = false;
+  std::function<void(std::uint64_t)> done_;
+  std::uint64_t round_entries_ = 0;
+  std::uint64_t total_entries_ = 0;
+};
+
+}  // namespace wankeeper::bk

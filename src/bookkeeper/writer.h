@@ -1,0 +1,85 @@
+// The paper's geo-distributed iterating-writers benchmark (§IV-B, Fig 8):
+// several writers at different sites share one logical log. Each writer
+// acquires a lock znode through the coordination service, records its
+// region and ledger in a shared metadata znode, writes entries to its
+// region's bookies for a fixed duration, stamps a finish record, and
+// releases the lock for the next writer. The lock/metadata path is exactly
+// where ZooKeeper bottlenecks over WAN and where WanKeeper's token
+// migration pays off (the log's "home region" holds the tokens).
+#pragma once
+
+#include <memory>
+
+#include "bookkeeper/ledger.h"
+#include "common/stats.h"
+#include "ycsb/testbed.h"
+#include "zk/client.h"
+
+namespace wankeeper::bk {
+
+// One iterating writer. Drives its zk::Client through the acquire ->
+// publish -> write -> finish -> release loop until stop() is called.
+class GeoWriter {
+ public:
+  // `fair_lock` selects the lock recipe: false = simple create/watch lock
+  // (the paper's literal "requesting and acquiring a lock"; waiters race on
+  // release, which biases turns toward the log's home region since local
+  // waiters react a WAN RTT sooner); true = sequential-znode FIFO queue
+  // (Curator-style fair lock, strict rotation; exercises bulk tokens).
+  GeoWriter(zk::Client& zk, LedgerWriter& ledger, std::string tag,
+            Time write_duration, bool fair_lock = false);
+
+  void run();
+  void stop() { stopped_ = true; }
+
+  std::uint64_t rounds() const { return rounds_; }
+  const LatencyRecorder& handoff_latency() const { return handoff_latency_; }
+
+ private:
+  void enqueue();       // fair recipe
+  void check_lock();    // fair recipe
+  void try_acquire();   // herd recipe
+  void on_acquired();
+  void publish_then_write();
+  void finish_round();
+
+  zk::Client& zk_;
+  LedgerWriter& ledger_;
+  std::string tag_;
+  Time write_duration_;
+  bool fair_lock_;
+  bool stopped_ = false;
+  bool waiting_herd_ = false;
+  std::string my_node_;    // our sequential queue node (held position)
+  std::string watching_;   // predecessor we are waiting on
+  Time acquire_started_ = 0;
+  Time slot_deadline_ = 0;
+  std::uint64_t rounds_ = 0;
+  LatencyRecorder handoff_latency_;  // lock request -> acquired
+};
+
+struct BkBenchConfig {
+  ycsb::SystemKind system = ycsb::SystemKind::kWanKeeper;
+  Time write_duration = 400 * kMillisecond;
+  Time horizon = 60 * kSecond;        // measured window
+  std::size_t ca_writers = 3;         // paper: 3 in California...
+  std::size_t fra_writers = 1;        // ...1 in Frankfurt, 0 in Virginia
+  std::size_t bookies_per_region = 3;
+  std::size_t write_quorum = 2;
+  bool fair_lock = false;
+  std::string wk_policy = "consecutive:2";
+  std::uint64_t seed = 1;
+};
+
+struct BkBenchResult {
+  double entries_per_sec = 0.0;
+  std::uint64_t total_entries = 0;
+  std::uint64_t total_rounds = 0;
+  double mean_handoff_ms = 0.0;
+  bool audit_clean = true;
+  ycsb::Testbed::WkCounters wk;  // WanKeeper token accounting
+};
+
+BkBenchResult run_bk_bench(const BkBenchConfig& config);
+
+}  // namespace wankeeper::bk

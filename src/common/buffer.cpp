@@ -1,0 +1,62 @@
+#include "common/buffer.h"
+
+namespace wankeeper {
+
+void BufferWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void BufferWriter::blob(const std::vector<std::uint8_t>& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  bytes_.insert(bytes_.end(), b.begin(), b.end());
+}
+
+void BufferReader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw BufferError("buffer underflow");
+}
+
+std::uint8_t BufferReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BufferReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BufferReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::string BufferReader::str() {
+  std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> BufferReader::blob() {
+  std::uint32_t n = u32();
+  need(n);
+  std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+}  // namespace wankeeper

@@ -1,0 +1,71 @@
+// Flat binary serialization used for Zab transaction payloads.
+//
+// ZooKeeper marshals requests with jute; we use an equivalent hand-rolled
+// length-prefixed little-endian format. Keeping txn payloads as real bytes
+// (rather than passing C++ structs through) models the marshalling work the
+// paper charges WanKeeper for, and forces every layer to round-trip its
+// wire state, which the tests exploit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wankeeper {
+
+class BufferWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+  void blob(const std::vector<std::uint8_t>& b);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Thrown when a reader runs off the end of a buffer or sees a bad tag:
+// indicates a serialization bug, never expected in a healthy run.
+class BufferError : public std::runtime_error {
+ public:
+  explicit BufferError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  BufferReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  std::vector<std::uint8_t> blob();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wankeeper

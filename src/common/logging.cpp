@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wankeeper {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("WANKEEPER_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel g_level = level_from_env();
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_time(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                static_cast<long long>(t / kSecond),
+                static_cast<long long>(t % kSecond));
+  return buf;
+}
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::log(LogLevel level, Time now, const std::string& component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s %s] %-14s %s\n", level_name(level),
+               format_time(now).c_str(), component.c_str(), message.c_str());
+}
+
+}  // namespace wankeeper

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// enable with Logger::set_level() or the WANKEEPER_LOG environment variable
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.h"
+
+namespace wankeeper {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  // `now` lets callers stamp messages with virtual time.
+  static void log(LogLevel level, Time now, const std::string& component,
+                  const std::string& message);
+
+  static bool enabled(LogLevel l) { return l >= level(); }
+};
+
+#define WK_LOG(lvl, now, component, msg)                          \
+  do {                                                            \
+    if (::wankeeper::Logger::enabled(lvl)) {                      \
+      ::wankeeper::Logger::log(lvl, now, component, msg);         \
+    }                                                             \
+  } while (0)
+
+#define WK_TRACE(now, component, msg) WK_LOG(::wankeeper::LogLevel::kTrace, now, component, msg)
+#define WK_DEBUG(now, component, msg) WK_LOG(::wankeeper::LogLevel::kDebug, now, component, msg)
+#define WK_INFO(now, component, msg) WK_LOG(::wankeeper::LogLevel::kInfo, now, component, msg)
+#define WK_WARN(now, component, msg) WK_LOG(::wankeeper::LogLevel::kWarn, now, component, msg)
+
+}  // namespace wankeeper

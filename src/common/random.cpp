@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wankeeper {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % n;
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::real() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return real() < p; }
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = real();
+  double u2 = real();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Zipfian::zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+Zipfian::Zipfian(std::uint64_t n, double s) : n_(n), theta_(s) {
+  if (n == 0) throw std::invalid_argument("Zipfian over empty keyspace");
+  zetan_ = zeta(n, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t Zipfian::next(Rng& rng) {
+  const double u = rng.real();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto k = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(k, n_ - 1);
+}
+
+double Zipfian::pmf(std::uint64_t rank) const {
+  return (1.0 / std::pow(static_cast<double>(rank), theta_)) / zetan_;
+}
+
+Hotspot::Hotspot(std::uint64_t n, double hot_fraction, double hot_op_fraction,
+                 std::uint64_t hot_set_seed)
+    : n_(n), hot_op_fraction_(hot_op_fraction) {
+  if (n == 0) throw std::invalid_argument("Hotspot over empty keyspace");
+  auto hot_count = static_cast<std::uint64_t>(std::ceil(static_cast<double>(n) * hot_fraction));
+  hot_count = std::clamp<std::uint64_t>(hot_count, 1, n);
+  std::vector<std::uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), 0);
+  Rng shuffler(hot_set_seed);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    std::swap(keys[i], keys[shuffler.uniform(i + 1)]);
+  }
+  hot_.assign(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(hot_count));
+  cold_.assign(keys.begin() + static_cast<std::ptrdiff_t>(hot_count), keys.end());
+}
+
+std::uint64_t Hotspot::next(Rng& rng) {
+  if (!cold_.empty() && !rng.chance(hot_op_fraction_)) {
+    return cold_[rng.uniform(cold_.size())];
+  }
+  return hot_[rng.uniform(hot_.size())];
+}
+
+}  // namespace wankeeper

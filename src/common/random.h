@@ -1,0 +1,79 @@
+// Seeded pseudo-randomness for deterministic simulations, plus the YCSB
+// key-chooser distributions the paper's workloads use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wankeeper {
+
+// xoshiro256** — fast, seedable, good statistical quality; one instance per
+// simulation so runs are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  // Uniform in [0, n).
+  std::uint64_t uniform(std::uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  // Uniform real in [0, 1).
+  double real();
+  // True with probability p.
+  bool chance(double p);
+  // Normal(mean, stddev) via Box-Muller.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipfian key chooser over {0, ..., n-1} with exponent s, exactly the
+// distribution the paper quotes for YCSB:
+//   f(k; s, N) = (1/k^s) / sum_{n=1..N} (1/n^s)
+// Implemented with the Gray/Jim YCSB rejection-free inverse method so draws
+// are O(1) after O(N)-free setup.
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double s = 0.99);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return theta_; }
+  // Probability mass of item with 1-based rank k (for tests).
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+// YCSB "hotspot" distribution: `hot_fraction` of the keyspace receives
+// `hot_op_fraction` of the operations; both sets are uniform inside.
+// The hot set is a seeded random subset so two clients with different seeds
+// get *different* hot sets, modeling the per-site hot spots of Fig 10b.
+class Hotspot {
+ public:
+  Hotspot(std::uint64_t n, double hot_fraction, double hot_op_fraction,
+          std::uint64_t hot_set_seed);
+
+  std::uint64_t next(Rng& rng);
+
+  const std::vector<std::uint64_t>& hot_set() const { return hot_; }
+
+ private:
+  std::uint64_t n_;
+  double hot_op_fraction_;
+  std::vector<std::uint64_t> hot_;   // hot keys
+  std::vector<std::uint64_t> cold_;  // everything else
+};
+
+}  // namespace wankeeper

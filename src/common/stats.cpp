@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace wankeeper {
+
+void LatencyRecorder::record(Time latency_us) {
+  samples_.push_back(latency_us);
+  sorted_ = false;
+}
+
+double LatencyRecorder::mean_us() const {
+  if (samples_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+Time LatencyRecorder::min_us() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Time LatencyRecorder::max_us() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void LatencyRecorder::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<Time>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+Time LatencyRecorder::percentile_us(double q) const {
+  if (samples_.empty()) return 0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> LatencyRecorder::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / points);
+  for (std::size_t i = step - 1; i < n; i += step) {
+    out.emplace_back(static_cast<double>(samples_[i]) / 1000.0,
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.empty() || out.back().second < 1.0) {
+    out.emplace_back(static_cast<double>(samples_[n - 1]) / 1000.0, 1.0);
+  }
+  return out;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void LatencyRecorder::clear() {
+  samples_.clear();
+  sorted_ = false;
+}
+
+void ThroughputSeries::record(Time completion_time) {
+  const auto idx = static_cast<std::size_t>(completion_time / window_);
+  if (counts_.size() <= idx) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+}
+
+std::vector<double> ThroughputSeries::ops_per_sec() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  const double secs = static_cast<double>(window_) / static_cast<double>(kSecond);
+  for (auto c : counts_) out.push_back(static_cast<double>(c) / secs);
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int col_width)
+    : headers_(std::move(headers)), width_(col_width) {}
+
+void TablePrinter::print_header() {
+  std::string line;
+  for (const auto& h : headers_) {
+    std::string cell = h;
+    cell.resize(static_cast<std::size_t>(width_), ' ');
+    line += cell;
+  }
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(line.size(), '-').c_str());
+  header_printed_ = true;
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  if (!header_printed_) print_header();
+  std::string line;
+  for (const auto& c : cells) {
+    std::string cell = c;
+    if (cell.size() < static_cast<std::size_t>(width_)) {
+      cell.resize(static_cast<std::size_t>(width_), ' ');
+    } else {
+      cell += ' ';
+    }
+    line += cell;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace wankeeper

@@ -1,0 +1,77 @@
+// Latency/throughput accounting for the benchmark harnesses: streaming
+// summary statistics, percentile estimation, CDF export, and windowed
+// throughput series (Fig 10c style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wankeeper {
+
+// Collects raw samples (microseconds) and answers summary queries.
+// Sample counts in our experiments are 1e4..1e6, so keeping raw samples is
+// fine and gives exact percentiles.
+class LatencyRecorder {
+ public:
+  void record(Time latency_us);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean_us() const;
+  double mean_ms() const { return mean_us() / 1000.0; }
+  Time min_us() const;
+  Time max_us() const;
+  // q in [0,1]; exact order statistic (nearest-rank).
+  Time percentile_us(double q) const;
+
+  // (latency_ms, cumulative_fraction) pairs suitable for plotting a CDF.
+  // `points` caps the output size by subsampling evenly over ranks.
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+  const std::vector<Time>& samples() const { return samples_; }
+  void merge(const LatencyRecorder& other);
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<Time> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Counts completed operations in fixed windows of virtual time, producing
+// the throughput-over-time series of Fig 10c.
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(Time window = 10 * kSecond) : window_(window) {}
+
+  void record(Time completion_time);
+
+  // ops/sec per window, index i covering [i*window, (i+1)*window).
+  std::vector<double> ops_per_sec() const;
+  Time window() const { return window_; }
+
+ private:
+  Time window_;
+  std::vector<std::uint64_t> counts_;
+};
+
+// Simple fixed-width table printer for bench output: pads columns and prints
+// a header once, so every bench binary reports in the same format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14);
+
+  void row(const std::vector<std::string>& cells);
+  static std::string num(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+  bool header_printed_ = false;
+  void print_header();
+};
+
+}  // namespace wankeeper

@@ -1,0 +1,47 @@
+// Fundamental identifier and time types shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wankeeper {
+
+// Virtual time, microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+// Globally unique actor address within one simulation.
+using NodeId = std::int32_t;
+constexpr NodeId kNoNode = -1;
+
+// Datacenter / region identifier.
+using SiteId = std::int32_t;
+constexpr SiteId kNoSite = -1;
+
+// Zab transaction id: (epoch << 32) | counter.
+using Zxid = std::uint64_t;
+constexpr Zxid kNoZxid = 0;
+
+inline constexpr Zxid make_zxid(std::uint32_t epoch, std::uint32_t counter) {
+  return (static_cast<Zxid>(epoch) << 32) | counter;
+}
+inline constexpr std::uint32_t zxid_epoch(Zxid z) {
+  return static_cast<std::uint32_t>(z >> 32);
+}
+inline constexpr std::uint32_t zxid_counter(Zxid z) {
+  return static_cast<std::uint32_t>(z & 0xffffffffu);
+}
+
+// Client session identifier (unique across the whole deployment).
+using SessionId = std::int64_t;
+constexpr SessionId kNoSession = -1;
+
+// Client-assigned request sequence number; replies carry it back (FIFO order).
+using Xid = std::int64_t;
+
+std::string format_time(Time t);
+
+}  // namespace wankeeper

@@ -1,0 +1,34 @@
+// The SCFS metadata-update microbenchmark of Figure 10: clients in
+// California and Frankfurt drive metadata updates against files they share
+// to a configurable degree, with an optional per-site 80/20 hot spot.
+#pragma once
+
+#include <vector>
+
+#include "ycsb/runner.h"
+
+namespace wankeeper::scfs {
+
+struct ScfsBenchConfig {
+  ycsb::SystemKind system = ycsb::SystemKind::kWanKeeper;
+  double overlap = 0.1;        // fraction of files shared between the sites
+  bool hotspot = false;        // Fig 10b: 80% of ops on a per-site 20% hot set
+  std::uint64_t files = 1000;
+  std::uint64_t ops_per_site = 10000;
+  std::uint64_t seed = 1;
+};
+
+struct ScfsBenchResult {
+  double total_throughput = 0.0;
+  // Index 0 = California, 1 = Frankfurt.
+  double site_throughput[2] = {0.0, 0.0};
+  double site_latency_ms[2] = {0.0, 0.0};
+  std::vector<double> series_ca;   // ops/sec per 10 s window (Fig 10c)
+  std::vector<double> series_fra;
+  double local_write_fraction = 0.0;
+  bool audit_clean = true;
+};
+
+ScfsBenchResult run_scfs_bench(const ScfsBenchConfig& config);
+
+}  // namespace wankeeper::scfs

@@ -1,0 +1,83 @@
+// An Actor is one process in the simulation: a server replica, a broker, a
+// client, a bookie. Actors receive messages from the Network and set timers
+// on the Simulator. Crash/restart semantics: a crashed actor receives
+// nothing and all its pending timers are invalidated (they belong to the
+// previous incarnation); durable state survives in the derived class unless
+// it chooses to clear it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace wankeeper::sim {
+
+class Network;
+
+class Actor {
+ public:
+  Actor(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  // Deregisters from the network so in-flight deliveries to a destroyed
+  // actor are dropped rather than dereferencing freed memory.
+  virtual ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+  Time now() const { return sim_.now(); }
+  bool up() const { return up_; }
+
+  // Invoked once by the Network when the actor is registered.
+  virtual void start() {}
+
+  // Message delivery; never invoked while crashed.
+  virtual void on_message(NodeId from, const MessagePtr& msg) = 0;
+
+  // Crash: drop volatile state (derived hook), invalidate timers.
+  void crash() {
+    if (!up_) return;
+    up_ = false;
+    ++incarnation_;
+    on_crash();
+  }
+  // Restart with a fresh incarnation.
+  void restart() {
+    if (up_) return;
+    up_ = true;
+    ++incarnation_;
+    on_restart();
+  }
+
+  // Timer scheduling bound to the current incarnation: if the actor crashes
+  // or restarts before the timer fires, the callback is silently skipped.
+  EventId set_timer(Time delay, std::function<void()> fn) {
+    const std::uint64_t inc = incarnation_;
+    return sim_.after(delay, [this, inc, f = std::move(fn)]() {
+      if (up_ && incarnation_ == inc) f();
+    });
+  }
+  void cancel_timer(EventId id) { sim_.cancel(id); }
+
+ protected:
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
+ private:
+  friend class Network;
+
+  Network* registered_net_ = nullptr;
+  Simulator& sim_;
+  std::string name_;
+  NodeId id_ = kNoNode;
+  bool up_ = true;
+  std::uint64_t incarnation_ = 0;
+};
+
+}  // namespace wankeeper::sim

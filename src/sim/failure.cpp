@@ -1,0 +1,26 @@
+#include "sim/failure.h"
+
+namespace wankeeper::sim {
+
+void FailureInjector::crash_at(Time when, NodeId node, Time down_for) {
+  net_.sim().at(when, [this, node]() { net_.actor(node).crash(); });
+  if (down_for > 0) {
+    net_.sim().at(when + down_for, [this, node]() { net_.actor(node).restart(); });
+  }
+}
+
+void FailureInjector::partition_at(Time when, SiteId a, SiteId b, Time cut_for) {
+  net_.sim().at(when, [this, a, b]() { net_.partition(a, b, true); });
+  if (cut_for > 0) {
+    net_.sim().at(when + cut_for, [this, a, b]() { net_.partition(a, b, false); });
+  }
+}
+
+void FailureInjector::isolate_site_at(Time when, SiteId s, Time cut_for) {
+  net_.sim().at(when, [this, s]() { net_.isolate_site(s, true); });
+  if (cut_for > 0) {
+    net_.sim().at(when + cut_for, [this, s]() { net_.isolate_site(s, false); });
+  }
+}
+
+}  // namespace wankeeper::sim

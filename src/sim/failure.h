@@ -1,0 +1,27 @@
+// Declarative failure schedules for integration and property tests:
+// crash/restart nodes and cut/heal partitions at given virtual times.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace wankeeper::sim {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Network& net) : net_(net) {}
+
+  // Crash `node` at `when`, restart `down_for` later (0 = stay down).
+  void crash_at(Time when, NodeId node, Time down_for = 0);
+  // Cut sites a<->b at `when`, heal `cut_for` later (0 = stay cut).
+  void partition_at(Time when, SiteId a, SiteId b, Time cut_for = 0);
+  // Isolate a whole site, heal after `cut_for` (0 = stay cut).
+  void isolate_site_at(Time when, SiteId s, Time cut_for = 0);
+
+ private:
+  Network& net_;
+};
+
+}  // namespace wankeeper::sim

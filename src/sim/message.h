@@ -1,0 +1,27 @@
+// Base type for everything sent over the simulated network. Each protocol
+// layer defines its own message structs derived from Message; receivers
+// dispatch with dynamic_cast (deliberate: mirrors deserialize-then-dispatch
+// in a real server, and keeps layers decoupled).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace wankeeper::sim {
+
+struct Message {
+  virtual ~Message() = default;
+  // Human-readable tag for traces.
+  virtual const char* name() const = 0;
+  // Approximate wire size in bytes; used only for network statistics.
+  virtual std::size_t wire_size() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace wankeeper::sim

@@ -1,0 +1,146 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wankeeper::sim {
+
+Actor::~Actor() {
+  if (registered_net_ != nullptr) registered_net_->forget(id_);
+}
+
+LatencyModel::LatencyModel(std::size_t sites, Time intra_site, Time inter_site,
+                           double jitter_fraction)
+    : jitter_(jitter_fraction) {
+  matrix_.assign(sites, std::vector<Time>(sites, inter_site));
+  for (std::size_t i = 0; i < sites; ++i) matrix_[i][i] = intra_site;
+}
+
+LatencyModel::LatencyModel(std::vector<std::vector<Time>> one_way, double jitter_fraction)
+    : matrix_(std::move(one_way)), jitter_(jitter_fraction) {
+  for (const auto& row : matrix_) {
+    if (row.size() != matrix_.size()) throw std::invalid_argument("latency matrix not square");
+  }
+}
+
+LatencyModel LatencyModel::paper_wan() {
+  // One-way delays calibrated to 2016-era AWS pings: VA<->CA 62 ms RTT,
+  // VA<->FRA 88 ms RTT, CA<->FRA 146 ms RTT, sub-ms within a region.
+  const Time intra = 150 * kMicrosecond;
+  return LatencyModel{{
+      {intra, 31 * kMillisecond, 44 * kMillisecond},
+      {31 * kMillisecond, intra, 73 * kMillisecond},
+      {44 * kMillisecond, 73 * kMillisecond, intra},
+  }};
+}
+
+Time LatencyModel::base(SiteId from, SiteId to) const {
+  return matrix_.at(static_cast<std::size_t>(from)).at(static_cast<std::size_t>(to));
+}
+
+Time LatencyModel::sample(Rng& rng, SiteId from, SiteId to) const {
+  const Time b = base(from, to);
+  if (jitter_ <= 0.0) return b;
+  const double jittered = rng.normal(static_cast<double>(b), jitter_ * static_cast<double>(b));
+  // Truncate: never faster than 50% of base, never negative.
+  return std::max<Time>(static_cast<Time>(jittered), b / 2);
+}
+
+Network::Network(Simulator& sim, LatencyModel latency)
+    : sim_(sim), latency_(std::move(latency)) {}
+
+NodeId Network::add_node(Actor& actor, SiteId site) {
+  if (site < 0 || static_cast<std::size_t>(site) >= latency_.sites()) {
+    throw std::invalid_argument("site out of range for latency model");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(&actor);
+  sites_.push_back(site);
+  actor.id_ = id;
+  actor.registered_net_ = this;
+  actor.start();
+  return id;
+}
+
+void Network::forget(NodeId node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < nodes_.size()) {
+    nodes_[static_cast<std::size_t>(node)] = nullptr;
+  }
+}
+
+bool Network::alive(NodeId node) const {
+  return node >= 0 && static_cast<std::size_t>(node) < nodes_.size() &&
+         nodes_[static_cast<std::size_t>(node)] != nullptr;
+}
+
+SiteId Network::site_of(NodeId node) const {
+  return sites_.at(static_cast<std::size_t>(node));
+}
+
+Actor& Network::actor(NodeId node) const {
+  return *nodes_.at(static_cast<std::size_t>(node));
+}
+
+bool Network::partitioned(SiteId a, SiteId b) const {
+  return cuts_.count({std::min(a, b), std::max(a, b)}) != 0;
+}
+
+void Network::partition(SiteId a, SiteId b, bool cut) {
+  const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+  if (cut) {
+    cuts_.insert(key);
+  } else {
+    cuts_.erase(key);
+  }
+}
+
+void Network::isolate_site(SiteId s, bool cut) {
+  for (std::size_t other = 0; other < latency_.sites(); ++other) {
+    if (static_cast<SiteId>(other) != s) partition(s, static_cast<SiteId>(other), cut);
+  }
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->wire_size();
+  if (!alive(from) || !alive(to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Actor& src = actor(from);
+  Actor& dst = actor(to);
+  const SiteId sfrom = site_of(from);
+  const SiteId sto = site_of(to);
+  if (sfrom != sto) ++stats_.wan_messages;
+
+  if (!src.up() || !dst.up() || partitioned(sfrom, sto) ||
+      (drop_rate_ > 0.0 && sim_.rng().chance(drop_rate_))) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const Time latency = latency_.sample(sim_.rng(), sfrom, sto);
+  Time deliver_at = sim_.now() + latency;
+  // FIFO per ordered channel: never deliver before an earlier send.
+  auto& clock = channel_clock_[{from, to}];
+  deliver_at = std::max(deliver_at, clock);
+  clock = deliver_at;
+
+  const std::uint64_t dst_incarnation = dst.incarnation_;
+  sim_.at(deliver_at, [this, from, to, dst_incarnation, m = std::move(msg)]() {
+    // Deliveries racing a crash, restart, or destruction are lost.
+    if (!alive(to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    Actor& d = actor(to);
+    if (!d.up() || d.incarnation_ != dst_incarnation) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    d.on_message(from, m);
+  });
+}
+
+}  // namespace wankeeper::sim

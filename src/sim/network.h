@@ -1,0 +1,96 @@
+// Simulated WAN: actors are placed at sites; messages between actors incur
+// the one-way latency of the (site, site) pair plus seeded jitter. Channels
+// are FIFO per (src, dst) ordered pair — the TCP assumption the paper makes
+// for broker/server links — enforced by never scheduling a delivery earlier
+// than the previous one on the same channel. Supports site partitions, node
+// crashes, and probabilistic drops for failure testing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/actor.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace wankeeper::sim {
+
+// One-way latency matrix between sites. Defaults below are calibrated to the
+// paper's AWS deployment (Virginia=0, California=1, Frankfurt=2); see
+// DESIGN.md §4.
+class LatencyModel {
+ public:
+  // Uniform model: same latency between any two distinct sites.
+  LatencyModel(std::size_t sites, Time intra_site, Time inter_site,
+               double jitter_fraction = 0.05);
+  // Explicit matrix (must be square, symmetric not required).
+  LatencyModel(std::vector<std::vector<Time>> one_way, double jitter_fraction = 0.05);
+
+  // The three-region topology of the paper: VA(0), CA(1), FRA(2).
+  static LatencyModel paper_wan();
+
+  std::size_t sites() const { return matrix_.size(); }
+  Time base(SiteId from, SiteId to) const;
+  // Base latency plus truncated-normal jitter drawn from `rng`.
+  Time sample(Rng& rng, SiteId from, SiteId to) const;
+
+ private:
+  std::vector<std::vector<Time>> matrix_;
+  double jitter_;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t wan_messages = 0;  // crossing a site boundary
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, LatencyModel latency);
+
+  // Registers the actor, assigns its NodeId, calls start(). An actor that
+  // is destroyed before the network deregisters itself; messages addressed
+  // to it are then dropped.
+  NodeId add_node(Actor& actor, SiteId site);
+  void forget(NodeId node);
+
+  SiteId site_of(NodeId node) const;
+  Actor& actor(NodeId node) const;  // must still be alive
+  bool alive(NodeId node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Sends msg from -> to. Dropped if either end is crashed at send time, the
+  // sites are partitioned at send time, or the drop-rate coin fires.
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  // --- failure injection ---
+  void partition(SiteId a, SiteId b, bool cut);
+  bool partitioned(SiteId a, SiteId b) const;
+  // Isolate one site from every other site.
+  void isolate_site(SiteId s, bool cut);
+  void set_drop_rate(double p) { drop_rate_ = p; }
+
+  const NetworkStats& stats() const { return stats_; }
+  const LatencyModel& latency() const { return latency_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  LatencyModel latency_;
+  std::vector<Actor*> nodes_;
+  std::vector<SiteId> sites_;
+  // FIFO enforcement: earliest allowed next delivery per ordered channel.
+  std::map<std::pair<NodeId, NodeId>, Time> channel_clock_;
+  std::set<std::pair<SiteId, SiteId>> cuts_;
+  double drop_rate_ = 0.0;
+  NetworkStats stats_;
+};
+
+}  // namespace wankeeper::sim

@@ -1,0 +1,54 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace wankeeper::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::at(Time when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("scheduling into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without executing.
+    Event ev = queue_.top();
+    if (cancelled_.count(ev.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace wankeeper::sim

@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulator: a virtual clock plus an event
+// queue. Every node, client, and network delivery in the reproduction runs
+// on one Simulator instance, so whole WAN deployments execute single-
+// threaded and bit-reproducibly from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace wankeeper::sim {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedule `fn` at absolute virtual time `when` (>= now). Events at equal
+  // times run in scheduling order. Returns an id usable with cancel().
+  EventId at(Time when, std::function<void()> fn);
+  EventId after(Time delay, std::function<void()> fn) { return at(now_ + delay, std::move(fn)); }
+
+  // Cancelling an already-fired or unknown id is a harmless no-op.
+  void cancel(EventId id);
+
+  // Execute the next pending event. Returns false when the queue is empty.
+  bool step();
+  // Run until the queue drains (or `max_events` as a runaway guard).
+  void run(std::uint64_t max_events = ~std::uint64_t{0});
+  // Run events with time <= deadline; clock ends at deadline even if idle.
+  void run_until(Time deadline);
+  void run_for(Time duration) { run_until(now_ + duration); }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace wankeeper::sim

@@ -1,0 +1,53 @@
+#include "store/paths.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wankeeper::store {
+
+bool valid_path(std::string_view path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() == 1) return true;  // root
+  if (path.back() == '/') return false;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/' && path[i - 1] == '/') return false;  // empty component
+  }
+  return true;
+}
+
+std::string parent_path(std::string_view path) {
+  if (path == "/") return "";
+  const auto pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+std::string basename(std::string_view path) {
+  if (path == "/") return "";
+  const auto pos = path.rfind('/');
+  return std::string(path.substr(pos + 1));
+}
+
+std::string join_path(std::string_view parent, std::string_view child) {
+  if (parent == "/") return "/" + std::string(child);
+  return std::string(parent) + "/" + std::string(child);
+}
+
+std::string sequential_name(std::string_view prefix, std::uint32_t counter) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%010u", counter);
+  return std::string(prefix) + buf;
+}
+
+std::int64_t sequence_of(std::string_view name) {
+  if (name.size() < 10) return -1;
+  const std::string_view tail = name.substr(name.size() - 10);
+  std::int64_t v = 0;
+  for (char c : tail) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace wankeeper::store

@@ -1,0 +1,27 @@
+// znode path utilities (ZooKeeper path rules: absolute, '/'-separated, no
+// trailing slash except the root itself, no empty components).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wankeeper::store {
+
+bool valid_path(std::string_view path);
+
+// Parent of "/a/b/c" is "/a/b"; parent of "/a" is "/"; parent of "/" is "".
+std::string parent_path(std::string_view path);
+
+// Last component: basename("/a/b") == "b"; basename("/") == "".
+std::string basename(std::string_view path);
+
+// join("/a", "b") == "/a/b"; join("/", "b") == "/b".
+std::string join_path(std::string_view parent, std::string_view child);
+
+// ZooKeeper sequential suffix: 10-digit zero-padded counter.
+std::string sequential_name(std::string_view prefix, std::uint32_t counter);
+
+// Extract the numeric suffix of a sequential node name, or -1 if none.
+std::int64_t sequence_of(std::string_view name);
+
+}  // namespace wankeeper::store

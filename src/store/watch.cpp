@@ -1,0 +1,100 @@
+#include "store/watch.h"
+
+#include "store/paths.h"
+
+namespace wankeeper::store {
+
+const char* watch_event_name(WatchEvent e) {
+  switch (e) {
+    case WatchEvent::kCreated: return "created";
+    case WatchEvent::kDeleted: return "deleted";
+    case WatchEvent::kDataChanged: return "dataChanged";
+    case WatchEvent::kChildrenChanged: return "childrenChanged";
+  }
+  return "?";
+}
+
+void WatchManager::add_data_watch(const std::string& path, SessionId session) {
+  data_watches_[path].insert(session);
+}
+
+void WatchManager::add_child_watch(const std::string& path, SessionId session) {
+  child_watches_[path].insert(session);
+}
+
+void WatchManager::fire_data(const std::string& path, WatchEvent event,
+                             std::vector<WatchFire>* out) {
+  auto it = data_watches_.find(path);
+  if (it == data_watches_.end()) return;
+  for (SessionId s : it->second) out->push_back({s, path, event});
+  data_watches_.erase(it);  // one-shot
+}
+
+void WatchManager::fire_child(const std::string& path, std::vector<WatchFire>* out) {
+  auto it = child_watches_.find(path);
+  if (it == child_watches_.end()) return;
+  for (SessionId s : it->second) out->push_back({s, path, WatchEvent::kChildrenChanged});
+  child_watches_.erase(it);  // one-shot
+}
+
+void WatchManager::on_delete_path(const std::string& path, std::vector<WatchFire>* out) {
+  fire_data(path, WatchEvent::kDeleted, out);
+  fire_child(path, out);
+  fire_child(parent_path(path), out);
+}
+
+void WatchManager::on_single(const Txn& txn, std::vector<WatchFire>* out) {
+  switch (txn.type) {
+    case TxnType::kCreate:
+      fire_data(txn.path, WatchEvent::kCreated, out);
+      fire_child(parent_path(txn.path), out);
+      break;
+    case TxnType::kDelete:
+      on_delete_path(txn.path, out);
+      break;
+    case TxnType::kSetData:
+      fire_data(txn.path, WatchEvent::kDataChanged, out);
+      break;
+    case TxnType::kMulti:
+      for (const auto& sub : txn.ops) on_single(sub, out);
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<WatchFire> WatchManager::on_txn(
+    const Txn& txn, const std::vector<std::string>& closed_ephemerals) {
+  std::vector<WatchFire> out;
+  if (txn.type == TxnType::kCloseSession) {
+    for (const auto& path : closed_ephemerals) on_delete_path(path, &out);
+  } else {
+    on_single(txn, &out);
+  }
+  return out;
+}
+
+void WatchManager::remove_session(SessionId session) {
+  for (auto it = data_watches_.begin(); it != data_watches_.end();) {
+    it->second.erase(session);
+    it = it->second.empty() ? data_watches_.erase(it) : std::next(it);
+  }
+  for (auto it = child_watches_.begin(); it != child_watches_.end();) {
+    it->second.erase(session);
+    it = it->second.empty() ? child_watches_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t WatchManager::data_watch_count() const {
+  std::size_t n = 0;
+  for (const auto& [p, s] : data_watches_) n += s.size();
+  return n;
+}
+
+std::size_t WatchManager::child_watch_count() const {
+  std::size_t n = 0;
+  for (const auto& [p, s] : child_watches_) n += s.size();
+  return n;
+}
+
+}  // namespace wankeeper::store

@@ -1,0 +1,61 @@
+// ZooKeeper-style one-shot watches. Each server replica keeps its own watch
+// table for the sessions attached to it; watches fire when the replica
+// applies a matching transaction (so a watch fires exactly when the change
+// becomes locally visible, same as ZooKeeper).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "store/txn.h"
+
+namespace wankeeper::store {
+
+enum class WatchEvent : std::uint8_t {
+  kCreated = 1,
+  kDeleted = 2,
+  kDataChanged = 3,
+  kChildrenChanged = 4,
+};
+
+const char* watch_event_name(WatchEvent e);
+
+struct WatchFire {
+  SessionId session;
+  std::string path;
+  WatchEvent event;
+  bool operator==(const WatchFire&) const = default;
+};
+
+class WatchManager {
+ public:
+  // Data watches are set by getData/exists; child watches by getChildren.
+  void add_data_watch(const std::string& path, SessionId session);
+  void add_child_watch(const std::string& path, SessionId session);
+
+  // Computes and consumes the watches triggered by `txn`.
+  // `closed_ephemerals` lists paths implicitly deleted by a kCloseSession
+  // txn (the caller knows them because it queried the tree before apply).
+  std::vector<WatchFire> on_txn(const Txn& txn,
+                                const std::vector<std::string>& closed_ephemerals = {});
+
+  void remove_session(SessionId session);
+
+  std::size_t data_watch_count() const;
+  std::size_t child_watch_count() const;
+
+ private:
+  void fire_data(const std::string& path, WatchEvent event,
+                 std::vector<WatchFire>* out);
+  void fire_child(const std::string& path, std::vector<WatchFire>* out);
+  void on_single(const Txn& txn, std::vector<WatchFire>* out);
+  void on_delete_path(const std::string& path, std::vector<WatchFire>* out);
+
+  std::map<std::string, std::set<SessionId>> data_watches_;
+  std::map<std::string, std::set<SessionId>> child_watches_;
+};
+
+}  // namespace wankeeper::store

@@ -1,0 +1,12 @@
+#include "wankeeper/audit.h"
+
+#include "common/logging.h"
+
+namespace wankeeper::wk {
+
+void TokenAuditor::violation(Time now, const std::string& what) {
+  violations_.push_back(format_time(now) + ": " + what);
+  WK_WARN(now, "audit", what);
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,43 @@
+// Safety auditor for the token protocol. Brokers report applied write
+// transactions and token movements; the auditor checks the mutual-exclusion
+// invariant of §II-B — one token per record, writes only ever committed by
+// its current holder — and accumulates violations for tests to assert on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wankeeper::wk {
+
+class TokenAuditor {
+ public:
+  void violation(Time now, const std::string& what);
+
+  void count_grant() { ++grants_; }
+  void count_recall() { ++recalls_; }
+  void count_return() { ++returns_; }
+  void count_local_commit() { ++local_commits_; }
+  void count_remote_commit() { ++remote_commits_; }
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t recalls() const { return recalls_; }
+  std::uint64_t returns() const { return returns_; }
+  std::uint64_t local_commits() const { return local_commits_; }
+  std::uint64_t remote_commits() const { return remote_commits_; }
+
+ private:
+  std::vector<std::string> violations_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t recalls_ = 0;
+  std::uint64_t returns_ = 0;
+  std::uint64_t local_commits_ = 0;
+  std::uint64_t remote_commits_ = 0;
+};
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,449 @@
+// Broker: construction, WAN plumbing, the L1 token-check head processor,
+// and the apply-side mirror maintenance shared by every replica. The L2
+// serialization logic lives in level2.cpp; liveness/registration/failover
+// in heartbeat.cpp.
+#include "wankeeper/broker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wankeeper::wk {
+
+Broker::Broker(sim::Simulator& sim, std::string name, zk::ServerOptions server_opts,
+               WanOptions wan_opts, std::shared_ptr<const SiteDirectory> directory,
+               TokenAuditor* auditor)
+    : Server(sim, std::move(name), server_opts),
+      wan_(wan_opts),
+      directory_(std::move(directory)),
+      auditor_(auditor),
+      transport_(
+          kNoSite,  // my_site unknown until registration; fixed in start()
+          [this](SiteId dest, sim::MessagePtr frame) {
+            raw_send_to_site(dest, std::move(frame));
+          },
+          [this](SiteId from, const sim::MessagePtr& inner) {
+            wan_deliver(from, inner);
+          }),
+      l2_site_(wan_opts.l2_site) {}
+
+void Broker::start() {
+  Server::start();
+  // Rebind the transport's site id now that set_site() has run.
+  transport_ = WanTransport(
+      site(),
+      [this](SiteId dest, sim::MessagePtr frame) {
+        raw_send_to_site(dest, std::move(frame));
+      },
+      [this](SiteId from, const sim::MessagePtr& inner) { wan_deliver(from, inner); });
+  set_timer(wan_.retransmit_interval, [this]() { wan_tick(); });
+  set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
+}
+
+void Broker::on_crash() {
+  Server::on_crash();
+  // Snapshot-like mirrors (site_tokens_, broker_tokens_ ownership,
+  // session_home_, frontiers) survive: they are deterministic functions of
+  // the applied prefix, which models durable state. Protocol liveness state
+  // does not.
+  transport_.reset();
+  broker_tokens_.clear_volatile();
+  up_proposed_.clear();
+  down_proposed_.clear();
+  l2_pending_grants_.clear();
+  site_last_heard_.clear();
+  wan_live_sessions_.clear();
+  site_down_frontier_.clear();
+  leader_hint_.clear();
+  registered_ = false;
+  l2_last_heard_ = 0;
+}
+
+void Broker::on_restart() {
+  Server::on_restart();
+  set_timer(wan_.retransmit_interval, [this]() { wan_tick(); });
+  set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
+}
+
+void Broker::became_leader() {
+  transport_.open_streams(peer()->current_epoch());
+  registered_ = false;
+  l2_last_heard_ = now();  // grace period before lease panic / failover
+  if (site() != l2_site_) send_register();
+}
+
+void Broker::lost_leadership() {
+  transport_.reset();
+  broker_tokens_.clear_volatile();
+  l2_pending_grants_.clear();
+  up_proposed_.clear();
+  down_proposed_.clear();
+  registered_ = false;
+}
+
+// ----------------------------------------------------------- WAN plumbing
+
+void Broker::raw_send_to_site(SiteId dest, sim::MessagePtr frame) {
+  const auto& servers = directory_->servers_by_site.at(static_cast<std::size_t>(dest));
+  if (servers.empty()) return;
+  std::size_t hint = 0;
+  if (const auto it = leader_hint_.find(dest); it != leader_hint_.end()) {
+    hint = it->second % servers.size();
+  }
+  net().send(id(), servers[hint], std::move(frame));
+}
+
+void Broker::wan_tick() {
+  if (is_leader()) {
+    transport_.retransmit_tick(now(), wan_.retransmit_interval);
+  }
+  set_timer(wan_.retransmit_interval, [this]() { wan_tick(); });
+}
+
+void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
+  const bool is_wan =
+      dynamic_cast<const WanEnvelopeMsg*>(msg.get()) != nullptr ||
+      dynamic_cast<const WanAckMsg*>(msg.get()) != nullptr ||
+      dynamic_cast<const WanHeartbeatMsg*>(msg.get()) != nullptr ||
+      dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get()) != nullptr ||
+      dynamic_cast<const RegisterMsg*>(msg.get()) != nullptr ||
+      dynamic_cast<const RegisterOkMsg*>(msg.get()) != nullptr;
+  if (!is_wan) {
+    Server::on_message(from, msg);
+    return;
+  }
+
+  // Learn the sender site's current leader for our hints.
+  for (std::size_t s = 0; s < directory_->sites(); ++s) {
+    const auto& servers = directory_->servers_by_site[s];
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      if (servers[i] == from) leader_hint_[static_cast<SiteId>(s)] = i;
+    }
+  }
+
+  // WAN traffic is broker-leader business: bounce to the local leader if it
+  // landed on a follower (the sender's hint was stale).
+  if (!is_leader()) {
+    if (leader_server() != kNoNode && leader_server() != id()) {
+      net().send(id(), leader_server(), msg);
+    }
+    return;
+  }
+
+  // NB: messages may have been bounced through a same-site follower, so
+  // the sender's site must come from the message, never from `from`.
+  if (transport_.on_message(kNoSite, msg)) return;
+
+  if (const auto* m = dynamic_cast<const WanHeartbeatMsg*>(msg.get())) {
+    handle_heartbeat(m->from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get())) {
+    handle_heartbeat_reply(m->from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const RegisterMsg*>(msg.get())) {
+    handle_register(m->from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const RegisterOkMsg*>(msg.get())) {
+    handle_register_ok(*m);
+    return;
+  }
+}
+
+void Broker::wan_deliver(SiteId from_site, const sim::MessagePtr& inner) {
+  if (!is_leader()) return;  // stream content is meaningless off-leader
+  if (const auto* m = dynamic_cast<const WanForwardMsg*>(inner.get())) {
+    handle_wan_forward(from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ReplicateUpMsg*>(inner.get())) {
+    handle_replicate_up(from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ReplicateDownMsg*>(inner.get())) {
+    handle_replicate_down(*m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const TokenRecallMsg*>(inner.get())) {
+    handle_token_recall(*m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const WanRequestErrorMsg*>(inner.get())) {
+    handle_wan_request_error(*m);
+    return;
+  }
+}
+
+// ----------------------------------------------------- L1 head processor
+
+void Broker::decorate_txn(store::Txn& txn) {
+  if (txn.origin_site == kNoSite) txn.origin_site = site();
+  if (l2_role() && txn.gseq == 0) txn.gseq = next_gseq();
+}
+
+bool Broker::tokens_held_locally(const std::vector<TokenKey>& keys) const {
+  return site_tokens_.holds_all(keys);
+}
+
+bool Broker::leases_valid() const {
+  if (site() == l2_site_) return true;
+  return now() - l2_last_heard_ <= wan_.lease_valid;
+}
+
+void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
+  if (!is_leader()) {
+    Server::route_write(req, origin_server);  // forward to the site leader
+    return;
+  }
+  if (l2_role()) {
+    l2_serve(req, site(), origin_server);
+    return;
+  }
+  const auto keys = tokens_for_request(req);
+  if (keys.empty()) {
+    // Session ops and sync: always local (sessions are site-scoped; the
+    // commit still replicates up so ephemerals are known WAN-wide).
+    prep_and_propose(req, origin_server);
+    return;
+  }
+  if (tokens_held_locally(keys) && leases_valid()) {
+    ++bstats_.local_token_commits;
+    if (auditor_ != nullptr) auditor_->count_local_commit();
+    prep_and_propose(req, origin_server);
+    return;
+  }
+  forward_to_l2(req, origin_server);
+}
+
+void Broker::forward_to_l2(const zk::ClientRequest& req, NodeId origin_server) {
+  ++bstats_.wan_forwards;
+  auto m = std::make_shared<WanForwardMsg>();
+  m->request = req;
+  m->origin_server = origin_server;
+  transport_.send(l2_site_, std::move(m));
+}
+
+void Broker::handle_token_recall(const TokenRecallMsg& m) {
+  const auto start_now = site_tokens_.begin_recall(m.keys);
+  if (!start_now.empty()) propose_token_return(start_now);
+}
+
+void Broker::propose_token_return(const std::vector<TokenKey>& keys) {
+  zk::Envelope env;
+  env.txn.type = store::TxnType::kTokenReturned;
+  env.txn.paths = keys;
+  env.txn.origin_site = site();
+  propose_envelope(std::move(env), {});
+}
+
+void Broker::handle_replicate_down(const ReplicateDownMsg& m) {
+  const std::uint64_t g = m.envelope.txn.gseq;
+  if (g <= applied_down_gseq_ || down_proposed_.count(g) != 0) return;
+  down_proposed_.insert(g);
+  ++bstats_.replicate_down;
+  zk::Envelope env = m.envelope;
+  env.txn.zxid = kNoZxid;  // the local zab assigns a fresh zxid
+  propose_envelope(std::move(env), {});
+}
+
+void Broker::handle_wan_request_error(const WanRequestErrorMsg& m) {
+  send_request_error(m.origin_server, m.session, m.xid, m.rc);
+}
+
+void Broker::send_register() {
+  auto m = std::make_shared<RegisterMsg>();
+  m->from_site = site();
+  m->zab_epoch = peer()->current_epoch();
+  m->down_frontier = applied_down_gseq_;
+  m->owned_tokens = site_tokens_.owned_keys();
+  raw_send_to_site(l2_site_, std::move(m));
+}
+
+void Broker::handle_register_ok(const RegisterOkMsg& m) {
+  adopt_l2(m.l2_site, m.l2_epoch);
+  registered_ = true;
+  l2_last_heard_ = now();
+  resend_local_origin_after(m.up_frontier);
+}
+
+void Broker::resend_local_origin_after(Zxid up_frontier) {
+  // Re-ship committed local-origin transactions the L2 hasn't applied:
+  // covers frames lost to our (or L2's) leadership changes.
+  const auto& log = peer()->log();
+  for (std::size_t i = log.index_after(up_frontier); i < log.size(); ++i) {
+    const auto& entry = log.at(i);
+    if (entry.zxid > peer()->last_delivered()) break;  // only committed
+    zk::Envelope env = zk::Envelope::decode(entry.payload);
+    if (env.txn.origin_site != site() || env.txn.gseq != 0) continue;
+    if (env.txn.type == store::TxnType::kNoop ||
+        env.txn.type == store::TxnType::kError) {
+      continue;
+    }
+    env.txn.zxid = entry.zxid;
+    env.txn.origin_zxid = entry.zxid;
+    auto m = std::make_shared<ReplicateUpMsg>();
+    m->envelope = std::move(env);
+    transport_.send(l2_site_, std::move(m));
+  }
+}
+
+// --------------------------------------------------- apply-side mirrors
+
+void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
+  (void)rc;
+  const store::Txn& txn = env.txn;
+
+  // Session home tracking (for pinned_sessions and heartbeats).
+  if (txn.type == store::TxnType::kCreateSession) {
+    session_home_[txn.session] = txn.origin_site;
+  } else if (txn.type == store::TxnType::kCloseSession) {
+    session_home_.erase(txn.session);
+  }
+
+  // Replication frontiers.
+  if (txn.gseq > applied_down_gseq_) applied_down_gseq_ = txn.gseq;
+  down_proposed_.erase(txn.gseq);
+  if (txn.origin_zxid != kNoZxid && txn.origin_site != kNoSite) {
+    auto& f = up_frontier_[txn.origin_site];
+    f = std::max(f, txn.origin_zxid);
+  }
+
+  if (txn.type == store::TxnType::kTokenGranted ||
+      txn.type == store::TxnType::kTokenReturned) {
+    apply_token_marker(txn);
+  }
+
+  audit_applied(env);
+
+  if (!is_leader()) return;
+
+  // Replicate local commits up to L2 (data and token returns alike).
+  if (site() != l2_site_ && txn.origin_site == site() && txn.gseq == 0 &&
+      txn.type != store::TxnType::kNoop && txn.type != store::TxnType::kError) {
+    ++bstats_.replicate_up;
+    zk::Envelope up = env;
+    up.txn.origin_zxid = txn.zxid;
+    auto m = std::make_shared<ReplicateUpMsg>();
+    m->envelope = std::move(up);
+    transport_.send(l2_site_, std::move(m));
+  }
+
+  // L2: hub fan-out in commit (== gseq) order.
+  if (l2_role() && txn.gseq != 0 && txn.type != store::TxnType::kNoop &&
+      txn.type != store::TxnType::kError) {
+    l2_fan_out(env);
+  }
+}
+
+void Broker::apply_token_marker(const store::Txn& txn) {
+  if (txn.type == store::TxnType::kTokenGranted) {
+    const SiteId grantee = txn.origin_site;
+    for (const auto& key : txn.paths) {
+      broker_tokens_.set_owner(key, grantee);
+      l2_pending_grants_.erase(key);
+    }
+    if (grantee == site()) {
+      site_tokens_.apply_granted(txn.paths);
+      if (auditor_ != nullptr) auditor_->count_grant();
+      // Recalls that raced ahead of this grant start their return now.
+      const auto ret = site_tokens_.take_pending_recalls(txn.paths);
+      if (is_leader() && !ret.empty()) propose_token_return(ret);
+    }
+    if (l2_role()) {
+      // Requests parked on these keys need the token back from its new
+      // owner; recall immediately (the grant decision raced the request).
+      for (const auto& key : txn.paths) {
+        if (broker_tokens_.recall_in_progress(key)) continue;
+        bool wanted = false;
+        // A parked request references the key in its missing set.
+        for (const auto& p : broker_tokens_.parked()) {
+          if (p.missing.count(key) != 0) {
+            wanted = true;
+            break;
+          }
+        }
+        if (wanted) l2_send_recall(key, grantee);
+      }
+    }
+  } else {  // kTokenReturned
+    const SiteId returner = txn.origin_site;
+    for (const auto& key : txn.paths) {
+      broker_tokens_.set_owner(key, kNoSite);
+      broker_tokens_.mark_recalling(key, false);
+    }
+    if (returner == site()) {
+      site_tokens_.apply_returned(txn.paths);
+      if (auditor_ != nullptr) auditor_->count_return();
+    }
+    if (l2_role()) {
+      std::vector<PendingRemote> ready;
+      for (const auto& key : txn.paths) {
+        auto r = broker_tokens_.unpark(key);
+        for (auto& p : r) ready.push_back(std::move(p));
+      }
+      l2_serve_unparked(std::move(ready));
+    }
+  }
+}
+
+void Broker::audit_applied(const zk::Envelope& env) {
+  if (auditor_ == nullptr) return;
+  const store::Txn& txn = env.txn;
+  switch (txn.type) {
+    case store::TxnType::kCreate:
+    case store::TxnType::kDelete:
+    case store::TxnType::kSetData:
+    case store::TxnType::kMulti:
+      break;
+    default:
+      return;
+  }
+  const auto keys = tokens_for_txn(txn);
+
+  // A txn committed locally under site tokens: this site must own them all.
+  if (txn.origin_site == site() && txn.gseq == 0 && site() != l2_site_) {
+    for (const auto& key : keys) {
+      if (!site_tokens_.owns(key)) {
+        auditor_->violation(now(), name() + ": local commit without token " + key);
+      }
+    }
+  }
+  // At the L2 site: a txn the L2 serialized itself requires the token home;
+  // a replicated-up txn requires the token to (still) be at its origin.
+  if (site() == l2_site_ && txn.gseq != 0) {
+    if (txn.origin_zxid == kNoZxid) {
+      for (const auto& key : keys) {
+        if (broker_tokens_.owner(key) != kNoSite) {
+          auditor_->violation(now(), name() + ": L2 served " + key +
+                                         " while token is at site " +
+                                         std::to_string(broker_tokens_.owner(key)));
+        }
+      }
+      if (auditor_ != nullptr) auditor_->count_remote_commit();
+    } else {
+      for (const auto& key : keys) {
+        if (broker_tokens_.owner(key) != txn.origin_site) {
+          auditor_->violation(now(), name() + ": site " +
+                                         std::to_string(txn.origin_site) +
+                                         " wrote " + key + " without owning it");
+        }
+      }
+    }
+  }
+}
+
+std::vector<SessionId> Broker::pinned_sessions() const {
+  // Non-L2 leaders never expire sessions homed elsewhere; the L2 leader
+  // relies on heartbeat-carried touches instead (a dead site's sessions
+  // then expire naturally).
+  if (l2_role()) return {};
+  std::vector<SessionId> pinned;
+  for (const auto& [session, home] : session_home_) {
+    if (home != site()) pinned.push_back(session);
+  }
+  return pinned;
+}
+
+}  // namespace wankeeper::wk

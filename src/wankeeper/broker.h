@@ -1,0 +1,197 @@
+// The WanKeeper broker: a zk::Server extended with the paper's token
+// machinery. Every replica in every site runs Broker code; the WAN roles
+// activate on the site leader:
+//
+//   L1 broker  (site leader)            — token-check head processor: writes
+//     whose tokens are all local commit in the site's own Zab; the rest are
+//     forwarded to L2. Commits replicate up; tokens recalled by L2 are
+//     returned after in-flight local txns drain.
+//   L2 broker  (leader of the designated L2 site) — serializes tokenless
+//     writes, observes access patterns, migrates tokens per policy, recalls
+//     them on conflict, stamps every transaction with a global sequence and
+//     fans it out, hub-style, to all other sites (which preserves causal
+//     order across the WAN).
+//
+// All durable protocol state (token ownership, session homes, replication
+// frontiers, the L2 sequence counter) is derived purely from *applied*
+// transactions — grant/return movements are logged as marker txns — so any
+// newly elected leader, L1 or L2, reconstructs it from its replica state
+// exactly as §II-D prescribes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "wankeeper/audit.h"
+#include "wankeeper/messages.h"
+#include "wankeeper/policy.h"
+#include "wankeeper/token.h"
+#include "wankeeper/token_manager.h"
+#include "wankeeper/wan_transport.h"
+#include "zk/server.h"
+
+namespace wankeeper::wk {
+
+// Static deployment directory: which server NodeIds live at which site.
+// Shared by all brokers; contents fixed after construction.
+struct SiteDirectory {
+  std::vector<std::vector<NodeId>> servers_by_site;
+
+  std::size_t sites() const { return servers_by_site.size(); }
+};
+
+struct WanOptions {
+  SiteId l2_site = 0;
+  std::string policy = "consecutive:2";  // see make_policy()
+  Time heartbeat_interval = 1 * kSecond;
+  Time retransmit_interval = 300 * kMillisecond;
+  Time l2_failover_timeout = 5 * kSecond;   // silence before promoting a new L2
+  // Lease discipline (paper §II-B): a site stops using its tokens when it
+  // has not heard from L2 for lease_valid; L2 reclaims a silent site's
+  // tokens after token_lease >> lease_valid. The long default makes
+  // reclaim a dead-site remedy, not a partition remedy: during transient
+  // partitions the held records simply stay unavailable elsewhere (CP).
+  // Writes a site committed inside its lease window but could not
+  // replicate before a reclaim are *fenced* at L2 (see handle_replicate_up)
+  // so they can never fork the global order.
+  Time lease_valid = 8 * kSecond;
+  Time token_lease = 60 * kSecond;
+  bool enable_l2_failover = true;
+  // Per-site fan-out backlog cap: beyond this many unacked frames the L2
+  // stops queueing fan-outs for the site (it is unreachable) and relies on
+  // the gseq-frontier resync when it reconnects.
+  std::size_t max_site_backlog = 512;
+};
+
+struct BrokerStats {
+  std::uint64_t local_token_commits = 0;   // writes committed under site tokens
+  std::uint64_t wan_forwards = 0;          // writes sent to L2
+  std::uint64_t l2_served = 0;             // writes serialized at L2
+  std::uint64_t grants = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t replicate_up = 0;
+  std::uint64_t replicate_down = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t lease_reclaims = 0;
+  std::uint64_t fenced_up = 0;      // stale replicate-ups dropped after reclaim
+  std::uint64_t fanout_skipped = 0; // fan-outs shed to an unreachable site
+};
+
+class Broker : public zk::Server {
+ public:
+  Broker(sim::Simulator& sim, std::string name, zk::ServerOptions server_opts,
+         WanOptions wan_opts, std::shared_ptr<const SiteDirectory> directory,
+         TokenAuditor* auditor = nullptr);
+
+  // --- introspection ---
+  bool l2_role() const { return site() == l2_site_ && is_leader(); }
+  SiteId l2_site() const { return l2_site_; }
+  std::uint32_t l2_epoch() const { return l2_epoch_; }
+  const SiteTokenTable& site_tokens() const { return site_tokens_; }
+  const BrokerTokenTable& token_table() const { return broker_tokens_; }
+  const BrokerStats& broker_stats() const { return bstats_; }
+  const WanTransport& transport() const { return transport_; }
+  std::uint64_t applied_down_gseq() const { return applied_down_gseq_; }
+
+  // Bench/test hook: pre-place tokens at a site (the paper's "WK Hot"
+  // configuration in Fig 6). Only effective on the acting L2 broker.
+  void bench_grant_tokens(const std::vector<TokenKey>& keys, SiteId grantee) {
+    if (l2_role() && !keys.empty()) l2_propose_grant(keys, grantee);
+  }
+
+  void start() override;
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+
+ protected:
+  void on_crash() override;
+  void on_restart() override;
+
+  // zk::Server extension points
+  void route_write(const zk::ClientRequest& req, NodeId origin_server) override;
+  void post_apply(const zk::Envelope& env, store::Rc rc) override;
+  std::vector<SessionId> pinned_sessions() const override;
+  void became_leader() override;
+  void lost_leadership() override;
+  void decorate_txn(store::Txn& txn) override;
+
+ private:
+  friend class Deployment;
+
+  // ---- WAN plumbing ----
+  void raw_send_to_site(SiteId dest, sim::MessagePtr frame);
+  void wan_deliver(SiteId from_site, const sim::MessagePtr& inner);
+  void wan_tick();
+
+  // ---- L1 side (broker.cpp) ----
+  bool tokens_held_locally(const std::vector<TokenKey>& keys) const;
+  bool leases_valid() const;
+  void forward_to_l2(const zk::ClientRequest& req, NodeId origin_server);
+  void handle_token_recall(const TokenRecallMsg& m);
+  void propose_token_return(const std::vector<TokenKey>& keys);
+  void handle_replicate_down(const ReplicateDownMsg& m);
+  void handle_register_ok(const RegisterOkMsg& m);
+  void handle_wan_request_error(const WanRequestErrorMsg& m);
+  void send_register();
+  void resend_local_origin_after(Zxid up_frontier);
+
+  // ---- L2 side (level2.cpp) ----
+  void handle_wan_forward(SiteId from_site, const WanForwardMsg& m);
+  void handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m);
+  void handle_register(SiteId from_site, const RegisterMsg& m);
+  void l2_serve(const zk::ClientRequest& req, SiteId from_site,
+                NodeId origin_server);
+  void l2_propose_remote(const zk::Envelope& env);
+  void l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee);
+  void l2_send_recall(const TokenKey& key, SiteId owner);
+  void l2_serve_unparked(std::vector<PendingRemote> ready);
+  void l2_fan_out(const zk::Envelope& env);
+  void l2_resync_site(SiteId site, std::uint64_t from_gseq);
+  void l2_reclaim_dead_site_tokens();
+  std::uint64_t next_gseq();
+
+  // ---- liveness / registration / failover (heartbeat.cpp) ----
+  void heartbeat_tick();
+  void handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m);
+  void handle_heartbeat_reply(SiteId from_site, const WanHeartbeatReplyMsg& m);
+  void adopt_l2(SiteId site, std::uint32_t epoch);
+  void consider_l2_failover();
+  bool site_alive(SiteId s) const;
+
+  // ---- shared apply-side mirror maintenance (broker.cpp) ----
+  void apply_token_marker(const store::Txn& txn);
+  void audit_applied(const zk::Envelope& env);
+
+  WanOptions wan_;
+  std::shared_ptr<const SiteDirectory> directory_;
+  TokenAuditor* auditor_;
+  std::unique_ptr<MigrationPolicy> policy_;
+
+  // Snapshot-like state: a deterministic function of the applied txn
+  // prefix; survives crashes alongside the data tree.
+  SiteTokenTable site_tokens_;
+  BrokerTokenTable broker_tokens_;          // global token map mirror
+  std::map<SessionId, SiteId> session_home_;
+  std::map<SiteId, Zxid> up_frontier_;      // per-site applied origin zxids
+  std::uint64_t applied_down_gseq_ = 0;     // highest L2 gseq applied here
+  std::uint64_t gseq_counter_ = 0;          // L2: counter within l2_epoch_
+
+  // Volatile state (cleared on crash).
+  WanTransport transport_;
+  SiteId l2_site_ = 0;
+  std::uint32_t l2_epoch_ = 1;
+  std::map<SiteId, Zxid> up_proposed_;      // L2: dedupe between propose/apply
+  std::set<std::uint64_t> down_proposed_;   // L1: dedupe between propose/apply
+  std::set<TokenKey> l2_pending_grants_;    // grant proposed, not yet applied
+  std::map<SiteId, Time> site_last_heard_;
+  std::map<SiteId, std::vector<SessionId>> wan_live_sessions_;
+  std::map<SiteId, std::uint64_t> site_down_frontier_;
+  std::map<SiteId, std::size_t> leader_hint_;
+  Time l2_last_heard_ = 0;
+  bool registered_ = false;
+  BrokerStats bstats_;
+};
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,103 @@
+#include "wankeeper/deployment.h"
+
+namespace wankeeper::wk {
+
+Deployment::Deployment(sim::Simulator& sim, sim::Network& net,
+                       DeploymentConfig config, TokenAuditor* auditor)
+    : sim_(sim), net_(net), config_(config),
+      directory_(std::make_shared<SiteDirectory>()) {
+  directory_->servers_by_site.resize(config_.sites);
+  for (std::size_t s = 0; s < config_.sites; ++s) {
+    std::vector<zk::NodeSpec> specs(config_.nodes_per_site,
+                                    zk::NodeSpec{static_cast<SiteId>(s), false});
+    auto factory = [this, auditor](sim::Simulator& simr, const std::string& name,
+                                   const zk::ServerOptions& opts) {
+      return std::unique_ptr<zk::Server>(
+          new Broker(simr, name, opts, config_.wan, directory_, auditor));
+    };
+    ensembles_.push_back(std::make_unique<zk::Ensemble>(
+        sim_, net_, specs, config_.server, config_.peer, factory,
+        "wk-s" + std::to_string(s)));
+    auto& ens = *ensembles_.back();
+    for (std::size_t i = 0; i < ens.size(); ++i) {
+      directory_->servers_by_site[s].push_back(ens.server_id(i));
+    }
+  }
+}
+
+Broker& Deployment::broker(SiteId s, std::size_t node) {
+  return static_cast<Broker&>(site_ensemble(s).server(node));
+}
+
+Broker* Deployment::site_leader(SiteId s) {
+  auto& ens = site_ensemble(s);
+  const std::size_t i = ens.leader_index();
+  return i == zk::Ensemble::npos ? nullptr : &static_cast<Broker&>(ens.server(i));
+}
+
+Broker* Deployment::l2_broker() {
+  for (std::size_t s = 0; s < sites(); ++s) {
+    Broker* leader = site_leader(static_cast<SiteId>(s));
+    if (leader != nullptr && leader->l2_role()) return leader;
+  }
+  return nullptr;
+}
+
+bool Deployment::wait_ready(Time max_wait) {
+  const Time deadline = sim_.now() + max_wait;
+  while (sim_.now() < deadline) {
+    bool ready = l2_broker() != nullptr;
+    for (std::size_t s = 0; ready && s < sites(); ++s) {
+      Broker* leader = site_leader(static_cast<SiteId>(s));
+      if (leader == nullptr || (!leader->l2_role() && !leader->registered_)) {
+        ready = false;
+      }
+    }
+    if (ready) return true;
+    sim_.run_for(100 * kMillisecond);
+  }
+  return false;
+}
+
+bool Deployment::converged() const {
+  std::uint64_t digest = 0;
+  bool first = true;
+  for (const auto& ens : ensembles_) {
+    for (std::size_t i = 0; i < ens->size(); ++i) {
+      const auto& server = const_cast<zk::Ensemble&>(*ens).server(i);
+      if (!server.up()) continue;
+      const std::uint64_t d = server.tree().digest();
+      if (first) {
+        digest = d;
+        first = false;
+      } else if (d != digest) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<zk::Client> Deployment::make_client(const std::string& name,
+                                                    SiteId s, SessionId session,
+                                                    std::size_t node) {
+  return site_ensemble(s).make_client(name, s, node, session);
+}
+
+void Deployment::crash_site_leader(SiteId s) {
+  auto& ens = site_ensemble(s);
+  const std::size_t i = ens.leader_index();
+  if (i != zk::Ensemble::npos) ens.crash_node(i);
+}
+
+void Deployment::crash_site(SiteId s) {
+  auto& ens = site_ensemble(s);
+  for (std::size_t i = 0; i < ens.size(); ++i) ens.crash_node(i);
+}
+
+void Deployment::restart_site(SiteId s) {
+  auto& ens = site_ensemble(s);
+  for (std::size_t i = 0; i < ens.size(); ++i) ens.restart_node(i);
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,73 @@
+// Multi-site WanKeeper deployment: one Zab-replicated broker cluster per
+// site (the L1s), one site designated L2, all sharing the simulated WAN.
+// Mirrors the paper's setup of "a ZooKeeper cluster at each AWS region,
+// one of them serving as the level-2 broker".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "wankeeper/audit.h"
+#include "wankeeper/broker.h"
+#include "zk/ensemble.h"
+
+namespace wankeeper::wk {
+
+struct DeploymentConfig {
+  std::size_t sites = 3;
+  std::size_t nodes_per_site = 3;
+  zk::ServerOptions server;   // server.head_overhead models WK marshalling
+  WanOptions wan;             // wan.l2_site picks the level-2 site
+  zab::PeerOptions peer;
+
+  DeploymentConfig() {
+    // The paper measures WanKeeper's extra head-processor marshalling as
+    // ~0.1 ms on reads; charge it on every client-facing request.
+    server.service_time = 150 * kMicrosecond;
+    server.head_overhead = 100 * kMicrosecond;
+  }
+};
+
+class Deployment {
+ public:
+  Deployment(sim::Simulator& sim, sim::Network& net, DeploymentConfig config,
+             TokenAuditor* auditor = nullptr);
+
+  std::size_t sites() const { return ensembles_.size(); }
+  zk::Ensemble& site_ensemble(SiteId s) { return *ensembles_[static_cast<std::size_t>(s)]; }
+  Broker& broker(SiteId s, std::size_t node);
+  // The current leader broker of a site, or nullptr mid-election.
+  Broker* site_leader(SiteId s);
+  // The broker currently acting as L2, or nullptr.
+  Broker* l2_broker();
+
+  // Runs the simulation until every site has a leader and every L1 leader
+  // has registered with L2.
+  bool wait_ready(Time max_wait = 15 * kSecond);
+
+  // All replicas at all sites converged to the same tree. Only meaningful
+  // after quiescence (no in-flight client ops or fan-outs).
+  bool converged() const;
+
+  std::unique_ptr<zk::Client> make_client(const std::string& name, SiteId s,
+                                          SessionId session,
+                                          std::size_t node = 0);
+
+  void crash_site_leader(SiteId s);
+  void crash_site(SiteId s);
+  void restart_site(SiteId s);
+
+  const SiteDirectory& directory() const { return *directory_; }
+  DeploymentConfig& config() { return config_; }
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  DeploymentConfig config_;
+  std::shared_ptr<SiteDirectory> directory_;
+  std::vector<std::unique_ptr<zk::Ensemble>> ensembles_;
+};
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,115 @@
+// WAN Heartbeater (paper §III-B): maintains the global view of all
+// clusters, piggybacks live client session ids so ephemerals survive
+// cross-site, detects L2 failure, and drives the promotion of a new L2
+// among the surviving L1 sites.
+#include <algorithm>
+
+#include "common/logging.h"
+#include "wankeeper/broker.h"
+
+namespace wankeeper::wk {
+
+void Broker::heartbeat_tick() {
+  if (is_leader()) {
+    // Sessions homed at this site, reported to the rest of the WAN.
+    std::vector<SessionId> live;
+    for (const auto& [session, home] : session_home_) {
+      if (home == site()) live.push_back(session);
+    }
+    for (std::size_t s = 0; s < directory_->sites(); ++s) {
+      const SiteId dest = static_cast<SiteId>(s);
+      if (dest == site()) continue;
+      auto m = std::make_shared<WanHeartbeatMsg>();
+      m->from_site = site();
+      m->live_sessions = live;
+      m->down_frontier = applied_down_gseq_;
+      m->l2_site = l2_site_;
+      m->l2_epoch = l2_epoch_;
+      raw_send_to_site(dest, std::move(m));
+    }
+    if (!registered_ && site() != l2_site_) send_register();
+    if (l2_role()) l2_reclaim_dead_site_tokens();
+    consider_l2_failover();
+  }
+  set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
+}
+
+void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
+  site_last_heard_[from_site] = now();
+  wan_live_sessions_[from_site] = m.live_sessions;
+  site_down_frontier_[from_site] = m.down_frontier;
+  adopt_l2(m.l2_site, m.l2_epoch);
+  if (from_site == l2_site_) l2_last_heard_ = now();
+
+  if (l2_role()) {
+    // Keep the piggybacked sessions alive in our expiry tracker.
+    touch_sessions(m.live_sessions);
+    // Frontier gap with an idle stream: the site missed fan-outs under a
+    // previous leadership; re-ship from its frontier.
+    if (m.down_frontier < applied_down_gseq_ && transport_.unacked(from_site) == 0) {
+      l2_resync_site(from_site, m.down_frontier);
+    }
+  }
+
+  auto reply = std::make_shared<WanHeartbeatReplyMsg>();
+  reply->from_site = site();
+  reply->up_frontier = [&] {
+    const auto it = up_frontier_.find(from_site);
+    return it == up_frontier_.end() ? kNoZxid : it->second;
+  }();
+  reply->l2_site = l2_site_;
+  reply->l2_epoch = l2_epoch_;
+  raw_send_to_site(from_site, std::move(reply));
+}
+
+void Broker::handle_heartbeat_reply(SiteId from_site, const WanHeartbeatReplyMsg& m) {
+  site_last_heard_[from_site] = now();
+  adopt_l2(m.l2_site, m.l2_epoch);
+  if (from_site == l2_site_) l2_last_heard_ = now();
+}
+
+void Broker::adopt_l2(SiteId site_id, std::uint32_t epoch) {
+  if (site_id == kNoSite) return;
+  if (epoch < l2_epoch_ || (epoch == l2_epoch_ && site_id == l2_site_)) return;
+  WK_INFO(now(), name(),
+          "adopting L2 site " + std::to_string(site_id) + " (epoch " +
+              std::to_string(epoch) + ")");
+  l2_site_ = site_id;
+  l2_epoch_ = epoch;
+  gseq_counter_ = 0;
+  registered_ = false;
+  l2_last_heard_ = now();  // grace for the new regime
+  if (is_leader() && site() != l2_site_) send_register();
+}
+
+bool Broker::site_alive(SiteId s) const {
+  if (s == site()) return true;
+  const auto it = site_last_heard_.find(s);
+  return it != site_last_heard_.end() &&
+         now() - it->second <= wan_.l2_failover_timeout;
+}
+
+void Broker::consider_l2_failover() {
+  if (!wan_.enable_l2_failover || site() == l2_site_) return;
+  if (now() - l2_last_heard_ <= wan_.l2_failover_timeout) return;
+  // The L2 site has gone silent. Deterministic promotion: the lowest alive
+  // site id takes over; everyone converges on the same choice via the
+  // epoch-stamped gossip in heartbeats.
+  SiteId candidate = site();
+  for (std::size_t s = 0; s < directory_->sites(); ++s) {
+    const SiteId sid = static_cast<SiteId>(s);
+    if (sid == l2_site_) continue;
+    if (site_alive(sid) && sid < candidate) candidate = sid;
+  }
+  if (candidate != site()) return;  // the other site will promote itself
+  WK_INFO(now(), name(),
+          "L2 site " + std::to_string(l2_site_) + " silent for " +
+              format_time(now() - l2_last_heard_) + "; promoting self");
+  l2_epoch_ += 1;
+  l2_site_ = site();
+  gseq_counter_ = 0;
+  registered_ = true;  // an L2 does not register with itself
+  l2_last_heard_ = now();
+}
+
+}  // namespace wankeeper::wk

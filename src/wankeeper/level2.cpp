@@ -1,0 +1,284 @@
+// Level-2 broker logic: serializing tokenless writes, observing access
+// patterns, migrating and recalling tokens, stamping the global sequence,
+// and fanning committed transactions out to the sites.
+#include <algorithm>
+
+#include "common/logging.h"
+#include "wankeeper/broker.h"
+
+namespace wankeeper::wk {
+
+namespace {
+constexpr int kGseqEpochShift = 40;
+}
+
+std::uint64_t Broker::next_gseq() {
+  if (gseq_counter_ == 0 &&
+      (applied_down_gseq_ >> kGseqEpochShift) == l2_epoch_) {
+    // Fresh leadership in the same L2 epoch: resume after the applied max.
+    gseq_counter_ = applied_down_gseq_ & ((1ULL << kGseqEpochShift) - 1);
+  }
+  return (static_cast<std::uint64_t>(l2_epoch_) << kGseqEpochShift) | ++gseq_counter_;
+}
+
+void Broker::handle_wan_forward(SiteId from_site, const WanForwardMsg& m) {
+  if (!l2_role()) return;  // stale routing; the site will re-register
+  l2_serve(m.request, from_site, m.origin_server);
+}
+
+void Broker::handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m) {
+  if (!l2_role()) return;
+  (void)from_site;
+  const store::Txn& txn = m.envelope.txn;
+  const Zxid applied = [&] {
+    const auto it = up_frontier_.find(txn.origin_site);
+    return it == up_frontier_.end() ? kNoZxid : it->second;
+  }();
+  const Zxid proposed = [&] {
+    const auto it = up_proposed_.find(txn.origin_site);
+    return it == up_proposed_.end() ? kNoZxid : it->second;
+  }();
+  if (txn.origin_zxid <= std::max(applied, proposed)) return;  // duplicate
+  // Fence: a data txn the origin committed under tokens it no longer owns
+  // (its lease was reclaimed while it was unreachable) must not enter the
+  // global order — the records have moved on without it. The origin's own
+  // replicas converge again as soon as newer global writes to those
+  // records fan back to it.
+  switch (txn.type) {
+    case store::TxnType::kCreate:
+    case store::TxnType::kDelete:
+    case store::TxnType::kSetData:
+    case store::TxnType::kMulti: {
+      for (const auto& key : tokens_for_txn(txn)) {
+        if (broker_tokens_.owner(key) != txn.origin_site) {
+          ++bstats_.fenced_up;
+          WK_INFO(now(), name(),
+                  "fenced stale replicate-up from site " +
+                      std::to_string(txn.origin_site) + " for " + key);
+          up_proposed_[txn.origin_site] = txn.origin_zxid;
+          return;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  up_proposed_[txn.origin_site] = txn.origin_zxid;
+  l2_propose_remote(m.envelope);
+}
+
+void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
+  if (!l2_role()) return;  // stale: the sender will adopt the real L2 via gossip
+  site_last_heard_[from_site] = now();
+  site_down_frontier_[from_site] = m.down_frontier;
+
+  // Reconcile token ownership the site claims but our mirror lost (possible
+  // across L2 failovers): re-grant through the log so every replica agrees.
+  std::vector<TokenKey> repair;
+  for (const auto& key : m.owned_tokens) {
+    if (broker_tokens_.owner(key) != from_site) repair.push_back(key);
+  }
+  if (!repair.empty()) l2_propose_grant(repair, from_site);
+
+  auto reply = std::make_shared<RegisterOkMsg>();
+  reply->up_frontier = [&] {
+    const auto it = up_frontier_.find(from_site);
+    return it == up_frontier_.end() ? kNoZxid : it->second;
+  }();
+  reply->l2_site = l2_site_;
+  reply->l2_epoch = l2_epoch_;
+  raw_send_to_site(from_site, std::move(reply));
+
+  l2_resync_site(from_site, m.down_frontier);
+}
+
+void Broker::l2_propose_remote(const zk::Envelope& env) {
+  zk::Envelope copy = env;
+  copy.txn.zxid = kNoZxid;  // our zab assigns a fresh local zxid
+  propose_envelope(std::move(copy), {});
+}
+
+void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
+                      NodeId origin_server) {
+  const auto keys = tokens_for_request(req);
+
+  // Fail fast on requests that are invalid against our (causally current)
+  // replica — e.g. create of an already-existing znode — *before* touching
+  // token state. This keeps doomed requests (lost lock races and the like)
+  // from forcing token recalls. The error can be slightly stale for
+  // records whose token is away; under the causal mode that is the same
+  // class of staleness as local reads, and retrying clients converge.
+  {
+    auto probe = prep_request(req);
+    if (probe.rc != store::Rc::kOk) {
+      if (from_site == site()) {
+        send_request_error(origin_server, req.session, req.xid, probe.rc);
+      } else {
+        auto err = std::make_shared<WanRequestErrorMsg>();
+        err->origin_server = origin_server;
+        err->session = req.session;
+        err->xid = req.xid;
+        err->rc = probe.rc;
+        transport_.send(from_site, std::move(err));
+      }
+      return;
+    }
+  }
+
+  // Any token currently away (or leaving) blocks serialization here.
+  std::set<TokenKey> missing;
+  for (const auto& key : keys) {
+    if (broker_tokens_.owner(key) != kNoSite || l2_pending_grants_.count(key) != 0) {
+      missing.insert(key);
+    }
+  }
+
+  if (!missing.empty()) {
+    ++bstats_.parked;
+    PendingRemote pending;
+    pending.from_site = from_site;
+    pending.origin_server = origin_server;
+    pending.request = req;
+    pending.missing = missing;
+    for (const auto& key : missing) {
+      const SiteId owner = broker_tokens_.owner(key);
+      if (owner != kNoSite && !broker_tokens_.recall_in_progress(key)) {
+        l2_send_recall(key, owner);
+      }
+      // pending grants: the recall fires when the grant marker applies
+    }
+    broker_tokens_.park(std::move(pending));
+    return;
+  }
+
+  // Tokens are home: serialize here. Record the access pattern and let the
+  // policy decide whether they should migrate to the requesting site.
+  std::vector<TokenKey> grant_keys;
+  if (policy_ == nullptr) policy_ = make_policy(wan_.policy);
+  for (const auto& key : keys) {
+    const bool migrate = broker_tokens_.record_access(key, from_site, *policy_);
+    if (migrate && from_site != site()) grant_keys.push_back(key);
+  }
+
+  auto prep = prep_request(req);
+  if (prep.rc != store::Rc::kOk) {
+    if (from_site == site()) {
+      send_request_error(origin_server, req.session, req.xid, prep.rc);
+    } else {
+      auto err = std::make_shared<WanRequestErrorMsg>();
+      err->origin_server = origin_server;
+      err->session = req.session;
+      err->xid = req.xid;
+      err->rc = prep.rc;
+      transport_.send(from_site, std::move(err));
+    }
+    return;
+  }
+  ++bstats_.l2_served;
+  zk::Envelope env;
+  env.session = req.session;
+  env.xid = req.xid;
+  env.txn = std::move(prep.txn);
+  env.txn.origin_site = from_site;  // requester; decorate_txn stamps gseq
+  propose_envelope(std::move(env), std::move(prep.overlay));
+
+  if (!grant_keys.empty()) l2_propose_grant(grant_keys, from_site);
+}
+
+void Broker::l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee) {
+  ++bstats_.grants;
+  WK_DEBUG(now(), name(),
+           "granting " + std::to_string(keys.size()) + " token(s) to site " +
+               std::to_string(grantee));
+  for (const auto& key : keys) l2_pending_grants_.insert(key);
+  zk::Envelope env;
+  env.txn.type = store::TxnType::kTokenGranted;
+  env.txn.paths = keys;
+  env.txn.origin_site = grantee;
+  propose_envelope(std::move(env), {});
+}
+
+void Broker::l2_send_recall(const TokenKey& key, SiteId owner) {
+  ++bstats_.recalls;
+  if (auditor_ != nullptr) auditor_->count_recall();
+  broker_tokens_.mark_recalling(key, true);
+  auto m = std::make_shared<TokenRecallMsg>();
+  m->keys = {key};
+  transport_.send(owner, std::move(m));
+}
+
+void Broker::l2_serve_unparked(std::vector<PendingRemote> ready) {
+  for (auto& p : ready) {
+    l2_serve(p.request, p.from_site, p.origin_server);
+  }
+}
+
+void Broker::l2_fan_out(const zk::Envelope& env) {
+  const store::Txn& txn = env.txn;
+  for (std::size_t s = 0; s < directory_->sites(); ++s) {
+    const SiteId dest = static_cast<SiteId>(s);
+    if (dest == site()) continue;
+    // A replicated-up txn already lives at its origin site.
+    if (txn.origin_zxid != kNoZxid && dest == txn.origin_site) continue;
+    // Shed load for unreachable sites: an unbounded backlog would take
+    // minutes to drain after a long partition, whereas the frontier-based
+    // resync replays the gap from the log in one burst on reconnect.
+    if (transport_.unacked(dest) > wan_.max_site_backlog) {
+      ++bstats_.fanout_skipped;
+      continue;
+    }
+    auto m = std::make_shared<ReplicateDownMsg>();
+    m->envelope = env;
+    transport_.send(dest, std::move(m));
+  }
+}
+
+void Broker::l2_resync_site(SiteId dest, std::uint64_t from_gseq) {
+  // Re-ship committed L2-sequenced txns the site is missing (frames lost to
+  // leadership changes on either end). Log order == gseq order.
+  const auto& log = peer()->log();
+  std::uint64_t shipped = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& entry = log.at(i);
+    if (entry.zxid > peer()->last_delivered()) break;
+    zk::Envelope env = zk::Envelope::decode(entry.payload);
+    const store::Txn& txn = env.txn;
+    if (txn.gseq == 0 || txn.gseq <= from_gseq) continue;
+    if (txn.type == store::TxnType::kNoop || txn.type == store::TxnType::kError) {
+      continue;
+    }
+    if (txn.origin_zxid != kNoZxid && dest == txn.origin_site) continue;
+    env.txn.zxid = entry.zxid;
+    auto m = std::make_shared<ReplicateDownMsg>();
+    m->envelope = std::move(env);
+    transport_.send(dest, std::move(m));
+    ++shipped;
+  }
+  if (shipped > 0) {
+    WK_INFO(now(), name(),
+            "resynced site " + std::to_string(dest) + " with " +
+                std::to_string(shipped) + " txns after gseq " +
+                std::to_string(from_gseq));
+  }
+}
+
+void Broker::l2_reclaim_dead_site_tokens() {
+  for (const auto& [s, heard] : site_last_heard_) {
+    if (s == site()) continue;
+    if (now() - heard <= wan_.token_lease) continue;
+    const auto keys = broker_tokens_.owned_by(s);
+    if (keys.empty()) continue;
+    ++bstats_.lease_reclaims;
+    WK_INFO(now(), name(),
+            "lease expired: reclaiming " + std::to_string(keys.size()) +
+                " token(s) from dead site " + std::to_string(s));
+    zk::Envelope env;
+    env.txn.type = store::TxnType::kTokenReturned;
+    env.txn.paths = keys;
+    env.txn.origin_site = s;  // reclaimed on the silent owner's behalf
+    propose_envelope(std::move(env), {});
+  }
+}
+
+}  // namespace wankeeper::wk

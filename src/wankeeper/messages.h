@@ -1,0 +1,128 @@
+// WanKeeper's inter-site (L1 <-> L2) wire protocol. All of these travel
+// inside WanEnvelopeMsg frames managed by WanTransport, which provides the
+// reliable FIFO streams the protocol assumes (paper §II-B: "we require FIFO
+// channels between brokers/servers, which can be ensured by using TCP").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "store/txn.h"
+#include "wankeeper/token.h"
+#include "zk/messages.h"
+#include "zk/server.h"
+
+namespace wankeeper::wk {
+
+// --- transport framing ---
+
+struct WanEnvelopeMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  std::uint32_t stream_epoch = 0;  // sender's zab epoch: new leader, new stream
+  std::uint64_t seq = 0;           // FIFO sequence within the stream
+  sim::MessagePtr inner;
+  std::size_t wire_size() const override {
+    return 32 + (inner ? inner->wire_size() : 0);
+  }
+  const char* name() const override { return "wk.envelope"; }
+};
+
+struct WanAckMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  std::uint32_t stream_epoch = 0;  // epoch of the stream being acked
+  std::uint64_t cumulative = 0;    // everything <= cumulative received
+  const char* name() const override { return "wk.ack"; }
+};
+
+// --- L1 -> L2 ---
+
+// Discovery phase of the paper's Fig 2: a (re)elected L1 leader registers
+// with the L2 site, reporting its replication frontiers and owned tokens so
+// both ends can resynchronize.
+struct RegisterMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  std::uint32_t zab_epoch = 0;
+  std::uint64_t down_frontier = 0;  // highest applied L2 gseq at this site
+  std::vector<TokenKey> owned_tokens;
+  const char* name() const override { return "wk.register"; }
+};
+
+// A write the L1 site lacks tokens for, forwarded for L2 serialization
+// (step 8 of Fig 2). origin_server routes prep errors back.
+struct WanForwardMsg : sim::Message {
+  zk::ClientRequest request;
+  NodeId origin_server = kNoNode;
+  std::size_t wire_size() const override { return 48 + request.wire_size(); }
+  const char* name() const override { return "wk.forward"; }
+};
+
+// A transaction committed locally under site tokens, replicated up to L2
+// for global sequencing and fan-out (step 14 of Fig 2).
+struct ReplicateUpMsg : sim::Message {
+  zk::Envelope envelope;  // txn.origin_site/origin_zxid identify it globally
+  std::size_t wire_size() const override {
+    return 64 + envelope.txn.path.size() + envelope.txn.data.size();
+  }
+  const char* name() const override { return "wk.replicateUp"; }
+};
+
+// A returned token (the marker txn already flowed up via ReplicateUp; this
+// is implicit — kept for documentation symmetry; see broker.cpp).
+
+// Site liveness + ephemeral-session piggyback (the paper's WAN Heartbeater)
+// + L2 identity gossip used for failover.
+struct WanHeartbeatMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  std::vector<SessionId> live_sessions;
+  std::uint64_t down_frontier = 0;
+  SiteId l2_site = kNoSite;
+  std::uint32_t l2_epoch = 0;
+  const char* name() const override { return "wk.heartbeat"; }
+};
+
+// --- L2 -> L1 ---
+
+struct RegisterOkMsg : sim::Message {
+  Zxid up_frontier = kNoZxid;  // highest origin zxid L2 applied from you
+  SiteId l2_site = kNoSite;
+  std::uint32_t l2_epoch = 0;
+  const char* name() const override { return "wk.registerOk"; }
+};
+
+// A globally sequenced transaction fanned out to a site (step 10 of Fig 2).
+struct ReplicateDownMsg : sim::Message {
+  zk::Envelope envelope;  // txn.gseq orders it; session/xid route the reply
+  std::size_t wire_size() const override {
+    return 64 + envelope.txn.path.size() + envelope.txn.data.size();
+  }
+  const char* name() const override { return "wk.replicateDown"; }
+};
+
+// Termination of lease for tokens (paper §II-B): the owner must finish
+// in-flight local txns on them and return them.
+struct TokenRecallMsg : sim::Message {
+  std::vector<TokenKey> keys;
+  const char* name() const override { return "wk.recall"; }
+};
+
+// Prep failure for a forwarded request; routed back to the origin server.
+struct WanRequestErrorMsg : sim::Message {
+  NodeId origin_server = kNoNode;
+  SessionId session = kNoSession;
+  Xid xid = 0;
+  store::Rc rc = store::Rc::kOk;
+  const char* name() const override { return "wk.requestError"; }
+};
+
+struct WanHeartbeatReplyMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  Zxid up_frontier = kNoZxid;
+  SiteId l2_site = kNoSite;
+  std::uint32_t l2_epoch = 0;
+  const char* name() const override { return "wk.heartbeatReply"; }
+};
+
+}  // namespace wankeeper::wk

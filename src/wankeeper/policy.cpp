@@ -1,0 +1,22 @@
+#include "wankeeper/policy.h"
+
+#include <stdexcept>
+
+namespace wankeeper::wk {
+
+std::unique_ptr<MigrationPolicy> make_policy(const std::string& spec) {
+  if (spec == "never") return std::make_unique<NeverMigratePolicy>();
+  if (spec == "always") return std::make_unique<AlwaysMigratePolicy>();
+  if (spec == "predictive") return std::make_unique<PredictivePolicy>();
+  if (spec.rfind("consecutive", 0) == 0) {
+    std::uint32_t r = 2;
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+      r = static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1)));
+    }
+    return std::make_unique<ConsecutivePolicy>(r);
+  }
+  throw std::invalid_argument("unknown migration policy: " + spec);
+}
+
+}  // namespace wankeeper::wk

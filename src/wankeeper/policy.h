@@ -1,0 +1,101 @@
+// Token-migration policies: when should the L2 broker hand a record's token
+// to a requesting site? The paper's production rule is "r consecutive
+// requests from the same site" with r=2 identified as the sweet spot
+// (§II-B); Never/Always bound the tradeoff spectrum and the Markov policy
+// implements the paper's speculative-prediction extension. The ablation
+// bench abl_migration_policy sweeps these.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "wankeeper/predictor.h"
+#include "wankeeper/token.h"
+
+namespace wankeeper::wk {
+
+// Per-token access history the L2 broker feeds to the policy.
+struct AccessHistory {
+  SiteId last_site = kNoSite;
+  std::uint32_t consecutive = 0;  // run length of last_site, incl. current
+  std::uint64_t total_accesses = 0;
+};
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  // Called by L2 after serving an access to `key` on behalf of `site`
+  // (history already updated to include this access). True => migrate the
+  // token to `site`.
+  virtual bool should_migrate(const TokenKey& key, SiteId site,
+                              const AccessHistory& history) = 0;
+  virtual const char* name() const = 0;
+};
+
+// The paper's rule: migrate after `r` consecutive accesses from one site.
+class ConsecutivePolicy : public MigrationPolicy {
+ public:
+  explicit ConsecutivePolicy(std::uint32_t r = 2) : r_(r) {}
+  bool should_migrate(const TokenKey&, SiteId site,
+                      const AccessHistory& history) override {
+    return history.last_site == site && history.consecutive >= r_;
+  }
+  const char* name() const override { return "consecutive"; }
+  std::uint32_t r() const { return r_; }
+
+ private:
+  std::uint32_t r_;
+};
+
+// Pure centralized coordination: tokens never leave the broker.
+class NeverMigratePolicy : public MigrationPolicy {
+ public:
+  bool should_migrate(const TokenKey&, SiteId, const AccessHistory&) override {
+    return false;
+  }
+  const char* name() const override { return "never"; }
+};
+
+// Fully eager: first touch migrates (the other end of the spectrum).
+class AlwaysMigratePolicy : public MigrationPolicy {
+ public:
+  bool should_migrate(const TokenKey&, SiteId, const AccessHistory&) override {
+    return true;
+  }
+  const char* name() const override { return "always"; }
+};
+
+// Speculative policy from §II-B: migrate when the Markov model says the
+// requesting site is likely (>= threshold) to be the next accessor, even on
+// the first touch; falls back to the consecutive rule otherwise.
+class PredictivePolicy : public MigrationPolicy {
+ public:
+  PredictivePolicy(double threshold = 0.6, std::uint32_t fallback_r = 2,
+                   std::size_t window = 1024)
+      : threshold_(threshold), fallback_(fallback_r), predictor_(window) {}
+
+  bool should_migrate(const TokenKey& key, SiteId site,
+                      const AccessHistory& history) override {
+    predictor_.observe(key, site);
+    // When the model has signal for this record, it decides alone: grant
+    // iff the requester is likely to come back (this both migrates early
+    // to a dominant site and *vetoes* grants to sites that touch a record
+    // in short bursts, which the consecutive rule would thrash on).
+    if (predictor_.predict_next_site(key).has_value()) {
+      return predictor_.site_probability(key, site) >= threshold_;
+    }
+    return fallback_.should_migrate(key, site, history);
+  }
+  const char* name() const override { return "predictive"; }
+  const MarkovPredictor& predictor() const { return predictor_; }
+
+ private:
+  double threshold_;
+  ConsecutivePolicy fallback_;
+  MarkovPredictor predictor_;
+};
+
+std::unique_ptr<MigrationPolicy> make_policy(const std::string& spec);
+
+}  // namespace wankeeper::wk

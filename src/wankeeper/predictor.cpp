@@ -1,0 +1,77 @@
+#include "wankeeper/predictor.h"
+
+namespace wankeeper::wk {
+
+void MarkovPredictor::add_transition(const State& from, const State& to, int delta) {
+  auto& row = transitions_[from];
+  auto& total = totals_[from];
+  if (delta > 0) {
+    row[to.site] += static_cast<std::uint32_t>(delta);
+    total += static_cast<std::uint32_t>(delta);
+  } else {
+    const auto dec = static_cast<std::uint32_t>(-delta);
+    auto it = row.find(to.site);
+    if (it != row.end()) {
+      it->second = it->second > dec ? it->second - dec : 0;
+      if (it->second == 0) row.erase(it);
+    }
+    total = total > dec ? total - dec : 0;
+    if (total == 0) {
+      transitions_.erase(from);
+      totals_.erase(from);
+    }
+  }
+}
+
+void MarkovPredictor::observe(const std::string& record, SiteId site) {
+  const State current{record, site};
+  const auto it = last_state_.find(record);
+  if (it != last_state_.end()) {
+    add_transition(it->second, current, +1);
+    window_edges_.emplace_back(it->second, current);
+    if (window_edges_.size() > window_) {
+      const auto& [from, to] = window_edges_.front();
+      add_transition(from, to, -1);
+      window_edges_.pop_front();
+    }
+  }
+  last_state_[record] = current;
+  history_.push_back(current);
+  if (history_.size() > window_) history_.pop_front();
+}
+
+std::optional<MarkovPredictor::Prediction> MarkovPredictor::predict_next_site(
+    const std::string& record) const {
+  const auto last = last_state_.find(record);
+  if (last == last_state_.end()) return std::nullopt;
+  const auto row = transitions_.find(last->second);
+  if (row == transitions_.end()) return std::nullopt;
+  const auto total = totals_.find(last->second);
+  if (total == totals_.end() || total->second == 0) return std::nullopt;
+  Prediction best;
+  for (const auto& [site, count] : row->second) {
+    const double p = static_cast<double>(count) / static_cast<double>(total->second);
+    if (p > best.probability) {
+      best.site = site;
+      best.probability = p;
+    }
+  }
+  if (best.site == kNoSite) return std::nullopt;
+  return best;
+}
+
+double MarkovPredictor::site_probability(const std::string& record,
+                                         SiteId site) const {
+  const auto last = last_state_.find(record);
+  if (last == last_state_.end()) return 0.0;
+  const auto row = transitions_.find(last->second);
+  const auto total = totals_.find(last->second);
+  if (row == transitions_.end() || total == totals_.end() || total->second == 0) {
+    return 0.0;
+  }
+  const auto it = row->second.find(site);
+  if (it == row->second.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total->second);
+}
+
+}  // namespace wankeeper::wk

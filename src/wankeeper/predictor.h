@@ -1,0 +1,66 @@
+// Markov-model access prediction (paper §II-B "Token Prediction").
+//
+// States are (record, site) pairs; a transition is recorded whenever a
+// record is accessed by some site. Per the paper, edges only connect states
+// sharing the record or the site, and probabilities are estimated over a
+// sliding FIFO window of the most recent accesses so the model tracks
+// shifting client populations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace wankeeper::wk {
+
+class MarkovPredictor {
+ public:
+  explicit MarkovPredictor(std::size_t window = 1024) : window_(window) {}
+
+  // Record that `site` accessed `record`.
+  void observe(const std::string& record, SiteId site);
+
+  // Most likely next site to access `record`, with its estimated
+  // probability, based on transitions out of the record's current state.
+  struct Prediction {
+    SiteId site = kNoSite;
+    double probability = 0.0;
+  };
+  std::optional<Prediction> predict_next_site(const std::string& record) const;
+
+  // Probability that the next access to `record` comes from `site`.
+  double site_probability(const std::string& record, SiteId site) const;
+
+  std::size_t window() const { return window_; }
+  std::size_t observations() const { return history_.size(); }
+
+ private:
+  struct State {
+    std::string record;
+    SiteId site;
+    bool operator<(const State& o) const {
+      if (record != o.record) return record < o.record;
+      return site < o.site;
+    }
+  };
+
+  void add_transition(const State& from, const State& to, int delta);
+
+  std::size_t window_;
+  // Sliding window of states in access order (per record, as the paper's
+  // same-object correlation; the oldest falls out and decrements counts).
+  std::deque<State> history_;
+  // Last state per record, to chain same-record transitions.
+  std::map<std::string, State> last_state_;
+  // Transition counts between (record,site) states that share the record.
+  std::map<State, std::map<SiteId, std::uint32_t>> transitions_;
+  std::map<State, std::uint32_t> totals_;
+  // Window bookkeeping: per-record previous chain for decrement on expiry.
+  std::deque<std::pair<State, State>> window_edges_;
+};
+
+}  // namespace wankeeper::wk

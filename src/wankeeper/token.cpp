@@ -1,0 +1,76 @@
+#include "wankeeper/token.h"
+
+#include <algorithm>
+
+namespace wankeeper::wk {
+
+// Tokens are strictly per-record (one token per znode), as in the paper:
+// create/delete/setData of a node take that node's token; sequential
+// siblings share their parent's bulk token because their names are drawn
+// from the parent's counter (§III-B). Non-sequential creates under a
+// common parent deliberately do NOT serialize on the parent: they commute
+// (the parent's child set is a set union and its cversion converges via a
+// max rule in DataTree), which is what keeps e.g. ledger creation local to
+// each site. The known causal-mode anomaly this admits — deleting a parent
+// concurrently with a remote create under it — is inherited from the
+// paper's design and documented in DESIGN.md.
+std::vector<TokenKey> tokens_for_op(const zk::Op& op) {
+  std::vector<TokenKey> keys;
+  switch (op.op) {
+    case zk::OpCode::kCreate:
+      if (op.sequential) {
+        keys.push_back(seq_token(store::parent_path(op.path)));
+      } else {
+        keys.push_back(token_for_path(op.path));
+      }
+      break;
+    case zk::OpCode::kDelete:
+    case zk::OpCode::kSetData:
+      keys.push_back(token_for_path(op.path));
+      break;
+    default:
+      break;
+  }
+  return keys;
+}
+
+namespace {
+void collect_txn_tokens(const store::Txn& txn, std::vector<TokenKey>& keys) {
+  switch (txn.type) {
+    case store::TxnType::kCreate:
+    case store::TxnType::kDelete:
+    case store::TxnType::kSetData:
+      keys.push_back(token_for_path(txn.path));
+      break;
+    case store::TxnType::kMulti:
+      for (const auto& sub : txn.ops) collect_txn_tokens(sub, keys);
+      break;
+    default:
+      break;
+  }
+}
+}  // namespace
+
+std::vector<TokenKey> tokens_for_txn(const store::Txn& txn) {
+  std::vector<TokenKey> keys;
+  collect_txn_tokens(txn, keys);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<TokenKey> tokens_for_request(const zk::ClientRequest& req) {
+  std::vector<TokenKey> keys;
+  if (req.op.op == zk::OpCode::kMulti) {
+    for (const auto& op : req.multi_ops) {
+      for (auto& k : tokens_for_op(op)) keys.push_back(std::move(k));
+    }
+  } else {
+    keys = tokens_for_op(req.op);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,51 @@
+// Tokens: the unit of write-ownership WanKeeper migrates between the L2
+// broker and L1 sites. One token exists per *record*; holding it grants the
+// exclusive right to commit writes to that record locally (paper §II-B).
+//
+// Record granularity: a plain znode is its own record. Sequential znodes
+// under one parent form a single *bulk* record keyed by the parent (paper
+// §III-B: sequence numbers come from the parent's counter, so siblings
+// cannot be owned by different sites). Structural edits (create/delete)
+// also take the parent's token, so cross-site namespace changes under one
+// parent are serialized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/paths.h"
+#include "store/txn.h"
+#include "zk/messages.h"
+
+namespace wankeeper::wk {
+
+// A token key is a string with a kind prefix:
+//   "node:<path>"  — the token for one znode record
+//   "seq:<parent>" — the bulk token covering all sequential children of
+//                    <parent> (and the parent's child counter)
+using TokenKey = std::string;
+
+inline TokenKey node_token(const std::string& path) { return "node:" + path; }
+inline TokenKey seq_token(const std::string& parent) { return "seq:" + parent; }
+
+// True when `name` carries the 10-digit suffix stamped on sequential nodes.
+inline bool looks_sequential(const std::string& path) {
+  return store::sequence_of(store::basename(path)) >= 0;
+}
+
+// The token a single data operation on `path` needs.
+inline TokenKey token_for_path(const std::string& path) {
+  if (looks_sequential(path)) return seq_token(store::parent_path(path));
+  return node_token(path);
+}
+
+// All tokens a write request needs before it may commit locally.
+// Reads never need tokens (write-token-only mode == causal consistency).
+std::vector<TokenKey> tokens_for_op(const zk::Op& op);
+std::vector<TokenKey> tokens_for_request(const zk::ClientRequest& req);
+
+// Tokens an already-prepared transaction required (the audit-side mirror of
+// tokens_for_request; sequential-ness is recovered from the stamped name).
+std::vector<TokenKey> tokens_for_txn(const store::Txn& txn);
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,154 @@
+#include "wankeeper/token_manager.h"
+
+#include <algorithm>
+
+namespace wankeeper::wk {
+
+// ------------------------------------------------------------- SiteTokenTable
+
+void SiteTokenTable::apply_granted(const std::vector<TokenKey>& keys) {
+  for (const auto& k : keys) owned_.insert(k);
+}
+
+void SiteTokenTable::apply_returned(const std::vector<TokenKey>& keys) {
+  for (const auto& k : keys) {
+    owned_.erase(k);
+    outgoing_.erase(k);
+    pending_recalls_.erase(k);  // a stale recall is satisfied by the return
+  }
+}
+
+std::vector<TokenKey> SiteTokenTable::begin_recall(const std::vector<TokenKey>& keys) {
+  std::vector<TokenKey> start_now;
+  for (const auto& k : keys) {
+    if (outgoing_.count(k) != 0) continue;  // return already in flight
+    if (owned_.count(k) != 0) {
+      outgoing_.insert(k);
+      start_now.push_back(k);
+    } else {
+      pending_recalls_.insert(k);  // grant still in flight
+    }
+  }
+  return start_now;
+}
+
+std::vector<TokenKey> SiteTokenTable::take_pending_recalls(
+    const std::vector<TokenKey>& granted) {
+  std::vector<TokenKey> out;
+  for (const auto& k : granted) {
+    const auto it = pending_recalls_.find(k);
+    if (it != pending_recalls_.end()) {
+      pending_recalls_.erase(it);
+      outgoing_.insert(k);
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+bool SiteTokenTable::holds_all(const std::vector<TokenKey>& keys) const {
+  return std::all_of(keys.begin(), keys.end(), [this](const TokenKey& k) {
+    return owned_.count(k) != 0 && outgoing_.count(k) == 0;
+  });
+}
+
+bool SiteTokenTable::owns(const TokenKey& key) const { return owned_.count(key) != 0; }
+
+bool SiteTokenTable::outgoing(const TokenKey& key) const {
+  return outgoing_.count(key) != 0;
+}
+
+std::vector<TokenKey> SiteTokenTable::owned_keys() const {
+  return {owned_.begin(), owned_.end()};
+}
+
+void SiteTokenTable::clear() {
+  owned_.clear();
+  outgoing_.clear();
+  pending_recalls_.clear();
+}
+
+// ----------------------------------------------------------- BrokerTokenTable
+
+SiteId BrokerTokenTable::owner(const TokenKey& key) const {
+  const auto it = owners_.find(key);
+  return it == owners_.end() ? kNoSite : it->second;
+}
+
+void BrokerTokenTable::set_owner(const TokenKey& key, SiteId site) {
+  if (site == kNoSite) {
+    owners_.erase(key);
+    recalling_.erase(key);
+  } else {
+    owners_[key] = site;
+  }
+}
+
+bool BrokerTokenTable::record_access(const TokenKey& key, SiteId site,
+                                     MigrationPolicy& policy) {
+  auto& h = history_[key];
+  if (h.last_site == site) {
+    ++h.consecutive;
+  } else {
+    h.last_site = site;
+    h.consecutive = 1;
+  }
+  ++h.total_accesses;
+  return policy.should_migrate(key, site, h);
+}
+
+const AccessHistory* BrokerTokenTable::history(const TokenKey& key) const {
+  const auto it = history_.find(key);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+bool BrokerTokenTable::recall_in_progress(const TokenKey& key) const {
+  return recalling_.count(key) != 0;
+}
+
+void BrokerTokenTable::mark_recalling(const TokenKey& key, bool recalling) {
+  if (recalling) {
+    recalling_.insert(key);
+  } else {
+    recalling_.erase(key);
+  }
+}
+
+void BrokerTokenTable::park(PendingRemote pending) {
+  parked_.push_back(std::move(pending));
+}
+
+std::vector<PendingRemote> BrokerTokenTable::unpark(const TokenKey& key) {
+  std::vector<PendingRemote> ready;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    it->missing.erase(key);
+    if (it->missing.empty()) {
+      ready.push_back(std::move(*it));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ready;
+}
+
+std::vector<TokenKey> BrokerTokenTable::owned_by(SiteId site) const {
+  std::vector<TokenKey> out;
+  for (const auto& [key, owner] : owners_) {
+    if (owner == site) out.push_back(key);
+  }
+  return out;
+}
+
+void BrokerTokenTable::clear() {
+  owners_.clear();
+  clear_volatile();
+}
+
+void BrokerTokenTable::clear_volatile() {
+  history_.clear();
+  recalling_.clear();
+  parked_.clear();
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,106 @@
+// Token bookkeeping on both sides of the hierarchy.
+//
+// SiteTokenTable (L1): the set of tokens this site owns, the outgoing set
+// (recalled, return in flight — paper Fig 3's "moves the token from owner
+// set to out-going set"), and recalls that arrived before their grant.
+// State changes are driven by *applied* kTokenGranted/kTokenReturned txns,
+// so a recovering L1 leader reconstructs it from its log (paper §II-D).
+//
+// BrokerTokenTable (L2): where every migrated token lives, per-token access
+// history for the migration policy, recall-in-progress flags, and the queue
+// of remote requests waiting for tokens to come home. Also rebuilt from
+// applied marker txns.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "wankeeper/policy.h"
+#include "wankeeper/token.h"
+#include "zk/messages.h"
+
+namespace wankeeper::wk {
+
+class SiteTokenTable {
+ public:
+  // Applied grant/return markers.
+  void apply_granted(const std::vector<TokenKey>& keys);
+  void apply_returned(const std::vector<TokenKey>& keys);
+
+  // A recall arrived: moves owned keys to outgoing. Returns the keys that
+  // can start the return flow now; keys we don't own yet (grant in flight)
+  // are remembered and surfaced by take_pending_recalls() when the grant
+  // applies.
+  std::vector<TokenKey> begin_recall(const std::vector<TokenKey>& keys);
+  // Pending recalls among `granted` (consumed).
+  std::vector<TokenKey> take_pending_recalls(const std::vector<TokenKey>& granted);
+
+  // A write may commit locally iff every key is owned and none is outgoing.
+  bool holds_all(const std::vector<TokenKey>& keys) const;
+  bool owns(const TokenKey& key) const;
+  bool outgoing(const TokenKey& key) const;
+
+  std::size_t owned_count() const { return owned_.size(); }
+  std::vector<TokenKey> owned_keys() const;
+  void clear();
+
+ private:
+  std::set<TokenKey> owned_;
+  std::set<TokenKey> outgoing_;
+  std::set<TokenKey> pending_recalls_;
+};
+
+// A remote request parked at L2 until its tokens come home.
+struct PendingRemote {
+  SiteId from_site = kNoSite;
+  NodeId origin_server = kNoNode;  // routes prep errors back
+  zk::ClientRequest request;
+  std::set<TokenKey> missing;
+};
+
+class BrokerTokenTable {
+ public:
+  // kNoSite means "token at the L2 broker" (the default for every record).
+  SiteId owner(const TokenKey& key) const;
+  void set_owner(const TokenKey& key, SiteId site);
+
+  // Record an access from `site` and consult the policy. Returns true when
+  // the token should migrate to `site`.
+  bool record_access(const TokenKey& key, SiteId site, MigrationPolicy& policy);
+
+  const AccessHistory* history(const TokenKey& key) const;
+
+  // --- recall orchestration ---
+  bool recall_in_progress(const TokenKey& key) const;
+  void mark_recalling(const TokenKey& key, bool recalling);
+
+  // --- pending remote requests ---
+  void park(PendingRemote pending);
+  // Token `key` is home again: strike it from waiters; requests with no
+  // remaining missing tokens are returned ready to serve.
+  std::vector<PendingRemote> unpark(const TokenKey& key);
+  std::size_t parked_count() const { return parked_.size(); }
+  const std::deque<PendingRemote>& parked() const { return parked_; }
+
+  // Tokens currently owned by `site` (for lease reclaim on site death).
+  std::vector<TokenKey> owned_by(SiteId site) const;
+
+  std::size_t migrated_count() const { return owners_.size(); }
+  void clear();
+  // Crash semantics: ownership is snapshot-like (rebuilt from applied
+  // markers) but histories, recall flags, and parked requests are not.
+  void clear_volatile();
+
+ private:
+  std::map<TokenKey, SiteId> owners_;  // only migrated tokens; rest at L2
+  std::map<TokenKey, AccessHistory> history_;
+  std::set<TokenKey> recalling_;
+  std::deque<PendingRemote> parked_;
+};
+
+}  // namespace wankeeper::wk

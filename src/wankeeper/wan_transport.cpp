@@ -1,0 +1,99 @@
+#include "wankeeper/wan_transport.h"
+
+namespace wankeeper::wk {
+
+WanTransport::WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver)
+    : my_site_(my_site), raw_send_(std::move(raw_send)), deliver_(std::move(deliver)) {}
+
+void WanTransport::open_streams(std::uint32_t stream_epoch) {
+  epoch_ = stream_epoch;
+  out_.clear();
+}
+
+void WanTransport::send(SiteId dest, sim::MessagePtr inner) {
+  auto& stream = out_[dest];
+  auto frame = std::make_shared<WanEnvelopeMsg>();
+  frame->from_site = my_site_;
+  frame->stream_epoch = epoch_;
+  frame->seq = stream.next_seq++;
+  frame->inner = std::move(inner);
+  stream.unacked.emplace_back(frame->seq, frame);
+  ++frames_sent_;
+  raw_send_(dest, std::move(frame));
+}
+
+bool WanTransport::on_message(SiteId implied_from, const sim::MessagePtr& msg) {
+  (void)implied_from;
+  if (const auto* m = dynamic_cast<const WanEnvelopeMsg*>(msg.get())) {
+    handle_envelope(*m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const WanAckMsg*>(msg.get())) {
+    handle_ack(*m);
+    return true;
+  }
+  return false;
+}
+
+void WanTransport::handle_envelope(const WanEnvelopeMsg& m) {
+  auto& stream = in_[m.from_site];
+  if (m.stream_epoch < stream.epoch) return;  // frame from a dead leadership
+  if (m.stream_epoch > stream.epoch) {
+    stream.epoch = m.stream_epoch;
+    stream.expected = 1;
+    stream.buffer.clear();
+  }
+  if (m.seq >= stream.expected) {
+    stream.buffer.emplace(m.seq, m.inner);
+    while (!stream.buffer.empty() &&
+           stream.buffer.begin()->first == stream.expected) {
+      const sim::MessagePtr inner = stream.buffer.begin()->second;
+      stream.buffer.erase(stream.buffer.begin());
+      ++stream.expected;
+      deliver_(m.from_site, inner);
+    }
+  }
+  // Cumulative ack (also re-acks duplicates so the sender stops resending).
+  auto ack = std::make_shared<WanAckMsg>();
+  ack->from_site = my_site_;
+  ack->stream_epoch = stream.epoch;
+  ack->cumulative = stream.expected - 1;
+  raw_send_(m.from_site, std::move(ack));
+}
+
+void WanTransport::handle_ack(const WanAckMsg& m) {
+  if (m.stream_epoch != epoch_) return;
+  auto it = out_.find(m.from_site);
+  if (it == out_.end()) return;
+  auto& unacked = it->second.unacked;
+  while (!unacked.empty() && unacked.front().first <= m.cumulative) {
+    unacked.pop_front();
+  }
+}
+
+void WanTransport::retransmit_tick(Time now, Time age) {
+  for (auto& [dest, stream] : out_) {
+    if (stream.unacked.empty()) continue;
+    if (now - stream.last_send < age) continue;
+    stream.last_send = now;
+    // Resend a bounded window; FIFO reassembly tolerates duplicates.
+    std::size_t budget = 1024;
+    for (const auto& [seq, frame] : stream.unacked) {
+      if (budget-- == 0) break;
+      ++retransmits_;
+      raw_send_(dest, frame);
+    }
+  }
+}
+
+std::size_t WanTransport::unacked(SiteId dest) const {
+  const auto it = out_.find(dest);
+  return it == out_.end() ? 0 : it->second.unacked.size();
+}
+
+void WanTransport::reset() {
+  out_.clear();
+  in_.clear();
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,80 @@
+// Reliable FIFO streams between site leaders over the lossy simulated WAN —
+// the paper's "WAN Transport component handles all WAN communication".
+//
+// Semantics: per (sender-site -> receiver-site) stream, messages are
+// delivered to the receiver's handler exactly once and in send order, as
+// long as both leaderships persist. A new leader (new zab epoch) opens a
+// fresh stream; messages of dead streams are dropped and their content is
+// re-derived by the registration/frontier resync protocol one level up.
+//
+// The class is passive (no actor of its own): the owning Broker feeds it
+// received envelopes/acks, drains its outgoing queue, and drives its
+// retransmission timer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "wankeeper/messages.h"
+
+namespace wankeeper::wk {
+
+class WanTransport {
+ public:
+  // raw_send(dest_site, frame): hand a frame to the network (the Broker
+  // resolves the destination site's current leader server).
+  // deliver(src_site, inner): an in-order, deduplicated protocol message.
+  using RawSend = std::function<void(SiteId, sim::MessagePtr)>;
+  using Deliver = std::function<void(SiteId, const sim::MessagePtr&)>;
+
+  WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver);
+
+  // New leadership at this site: abandon previous outgoing streams.
+  void open_streams(std::uint32_t stream_epoch);
+  std::uint32_t stream_epoch() const { return epoch_; }
+
+  // Queue `inner` for reliable FIFO delivery to `dest`'s leader.
+  void send(SiteId dest, sim::MessagePtr inner);
+
+  // Feed incoming frames. Returns true if the message was consumed.
+  bool on_message(SiteId implied_from, const sim::MessagePtr& msg);
+
+  // Retransmit unacked frames older than `age`; call periodically.
+  void retransmit_tick(Time now, Time age);
+
+  std::size_t unacked(SiteId dest) const;
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+
+  void reset();  // crash: all stream state is volatile
+
+ private:
+  struct OutStream {
+    std::uint64_t next_seq = 1;
+    std::deque<std::pair<std::uint64_t, sim::MessagePtr>> unacked;  // (seq, frame)
+    Time last_send = 0;
+  };
+  struct InStream {
+    std::uint32_t epoch = 0;
+    std::uint64_t expected = 1;
+    std::map<std::uint64_t, sim::MessagePtr> buffer;  // out-of-order inners
+  };
+
+  void handle_envelope(const WanEnvelopeMsg& m);
+  void handle_ack(const WanAckMsg& m);
+
+  SiteId my_site_;
+  RawSend raw_send_;
+  Deliver deliver_;
+  std::uint32_t epoch_ = 0;
+  std::map<SiteId, OutStream> out_;
+  std::map<SiteId, InStream> in_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,35 @@
+#include "ycsb/metrics.h"
+
+#include <algorithm>
+
+namespace wankeeper::ycsb {
+
+double AggregateMetrics::total_throughput() const {
+  if (clients.empty()) return 0.0;
+  std::uint64_t ops = 0;
+  Time start = clients.front()->started;
+  Time finish = clients.front()->finished;
+  for (const auto* c : clients) {
+    ops += c->ops;
+    start = std::min(start, c->started);
+    finish = std::max(finish, c->finished);
+  }
+  const Time span = finish - start;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(ops) * static_cast<double>(kSecond) /
+         static_cast<double>(span);
+}
+
+LatencyRecorder AggregateMetrics::merged_reads() const {
+  LatencyRecorder out;
+  for (const auto* c : clients) out.merge(c->read_latency);
+  return out;
+}
+
+LatencyRecorder AggregateMetrics::merged_writes() const {
+  LatencyRecorder out;
+  for (const auto* c : clients) out.merge(c->write_latency);
+  return out;
+}
+
+}  // namespace wankeeper::ycsb

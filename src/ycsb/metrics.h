@@ -1,0 +1,39 @@
+// Per-client and aggregated measurement for the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace wankeeper::ycsb {
+
+struct ClientMetrics {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t retries = 0;
+  LatencyRecorder read_latency;
+  LatencyRecorder write_latency;
+  ThroughputSeries series{10 * kSecond};
+  Time started = 0;
+  Time finished = 0;
+
+  double throughput() const {
+    const Time span = finished - started;
+    if (span <= 0) return 0.0;
+    return static_cast<double>(ops) * static_cast<double>(kSecond) /
+           static_cast<double>(span);
+  }
+};
+
+struct AggregateMetrics {
+  std::vector<ClientMetrics*> clients;
+
+  // Total ops / wall span from first start to last finish.
+  double total_throughput() const;
+  LatencyRecorder merged_reads() const;
+  LatencyRecorder merged_writes() const;
+};
+
+}  // namespace wankeeper::ycsb

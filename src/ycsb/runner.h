@@ -1,0 +1,62 @@
+// Experiment orchestration: builds one of the three systems the paper
+// compares — plain ZooKeeper (voters spread across regions, leader in
+// Virginia), ZooKeeper-with-observers (voting core in Virginia, observers
+// in the other regions), and WanKeeper (an L1 cluster per region, Virginia
+// as L2) — on the calibrated WAN, preloads records, drives closed-loop
+// clients, and reports throughput/latency plus WanKeeper token statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ycsb/client.h"
+#include "ycsb/metrics.h"
+#include "ycsb/testbed.h"
+#include "ycsb/workload.h"
+
+namespace wankeeper::ycsb {
+
+struct ClientSpec {
+  SiteId site = kCalifornia;
+  WorkloadSpec workload;
+  // Fraction of each client's record space that is shared with the other
+  // clients (access overlap): Fig 6 uses 0, Fig 7 sweeps 0..1.
+  double shared_fraction = 1.0;
+  std::string tag;  // defaults to "c<i>"
+};
+
+struct RunConfig {
+  SystemKind system = SystemKind::kWanKeeper;
+  std::vector<ClientSpec> clients;
+  std::string wk_policy = "consecutive:2";
+  bool wk_hot_start = false;  // pre-grant private tokens (Fig 6 "WK Hot")
+  std::uint64_t seed = 1;
+  Time settle = 1 * kSecond;
+  Time max_sim_time = 4 * 3600 * kSecond;  // runaway guard
+};
+
+struct RunResult {
+  std::vector<ClientMetrics> clients;
+  double total_throughput = 0.0;
+  LatencyRecorder reads;
+  LatencyRecorder writes;
+
+  // WanKeeper-only accounting.
+  std::uint64_t wk_local_commits = 0;
+  std::uint64_t wk_forwards = 0;
+  std::uint64_t wk_grants = 0;
+  std::uint64_t wk_recalls = 0;
+  bool token_audit_clean = true;
+
+  double local_write_fraction() const {
+    const auto total = wk_local_commits + wk_forwards;
+    return total == 0 ? 0.0
+                      : static_cast<double>(wk_local_commits) /
+                            static_cast<double>(total);
+  }
+};
+
+RunResult run_experiment(const RunConfig& config);
+
+}  // namespace wankeeper::ycsb

@@ -1,0 +1,64 @@
+#include "ycsb/workload.h"
+
+namespace wankeeper::ycsb {
+
+OpStream::OpStream(const WorkloadSpec& spec) : spec_(spec), rng_(spec.seed) {
+  switch (spec_.distribution) {
+    case KeyDistribution::kZipfian:
+      zipfian_ = std::make_unique<Zipfian>(spec_.record_count, spec_.zipfian_s);
+      break;
+    case KeyDistribution::kHotspot:
+      hotspot_ = std::make_unique<Hotspot>(spec_.record_count, spec_.hot_fraction,
+                                           spec_.hot_op_fraction, spec_.hot_set_seed);
+      break;
+    case KeyDistribution::kUniform:
+      break;
+  }
+}
+
+OpStream::Op OpStream::next() {
+  Op op;
+  switch (spec_.distribution) {
+    case KeyDistribution::kZipfian:
+      op.rank = zipfian_->next(rng_);
+      break;
+    case KeyDistribution::kHotspot:
+      op.rank = hotspot_->next(rng_);
+      break;
+    case KeyDistribution::kUniform:
+      op.rank = rng_.uniform(spec_.record_count);
+      break;
+  }
+  op.is_write = rng_.chance(spec_.write_fraction);
+  return op;
+}
+
+KeyMapper::KeyMapper(std::string base_path, std::string client_tag,
+                     double shared_fraction, std::uint64_t record_count)
+    : base_(std::move(base_path)),
+      tag_(std::move(client_tag)),
+      shared_limit_(static_cast<std::uint64_t>(shared_fraction *
+                                               static_cast<double>(record_count))),
+      records_(record_count) {}
+
+bool KeyMapper::is_shared(std::uint64_t rank) const { return rank < shared_limit_; }
+
+std::string KeyMapper::path_of(std::uint64_t rank) const {
+  if (is_shared(rank)) return base_ + "/s" + std::to_string(rank);
+  return base_ + "/" + tag_ + "-" + std::to_string(rank);
+}
+
+std::vector<std::string> KeyMapper::all_paths() const {
+  std::vector<std::string> out;
+  out.reserve(records_);
+  for (std::uint64_t r = 0; r < records_; ++r) out.push_back(path_of(r));
+  return out;
+}
+
+std::vector<std::string> KeyMapper::private_paths() const {
+  std::vector<std::string> out;
+  for (std::uint64_t r = shared_limit_; r < records_; ++r) out.push_back(path_of(r));
+  return out;
+}
+
+}  // namespace wankeeper::ycsb

@@ -1,0 +1,76 @@
+// YCSB-style workload specification and key choosers, matching the paper's
+// evaluation setup (§IV-A): N records, a read/write mix, and keys drawn
+// from the Zipfian distribution it quotes — plus the uniform and hotspot
+// variants the SCFS experiments use (§IV-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace wankeeper::ycsb {
+
+enum class KeyDistribution { kZipfian, kUniform, kHotspot };
+
+struct WorkloadSpec {
+  std::uint64_t record_count = 1000;  // paper: 1000 records
+  std::uint64_t op_count = 10000;     // paper: 10K operations
+  double write_fraction = 0.5;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double zipfian_s = 0.99;            // YCSB's default constant
+  // Hotspot variant (Fig 10b: "80% of operations updating 20% of data").
+  double hot_fraction = 0.2;
+  double hot_op_fraction = 0.8;
+  std::uint64_t hot_set_seed = 7;     // per-client seeds give per-site hot sets
+  std::size_t payload_bytes = 100;
+  std::uint64_t seed = 1;
+};
+
+// Draws (record rank, is_write) pairs for one client.
+class OpStream {
+ public:
+  explicit OpStream(const WorkloadSpec& spec);
+
+  struct Op {
+    std::uint64_t rank = 0;
+    bool is_write = false;
+  };
+  Op next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<Zipfian> zipfian_;
+  std::unique_ptr<Hotspot> hotspot_;
+};
+
+// Maps a client's record rank to a znode path. Experiments use this to
+// model access overlap between sites: ranks below `shared_fraction *
+// record_count` resolve to a shared record, the rest to a per-client
+// private record (Fig 6 = 0% overlap, Fig 7 sweeps 0..100%).
+class KeyMapper {
+ public:
+  KeyMapper(std::string base_path, std::string client_tag,
+            double shared_fraction, std::uint64_t record_count);
+
+  std::string path_of(std::uint64_t rank) const;
+  bool is_shared(std::uint64_t rank) const;
+
+  // Every path this client can touch (for preloading / token warmup).
+  std::vector<std::string> all_paths() const;
+  std::vector<std::string> private_paths() const;
+
+ private:
+  std::string base_;
+  std::string tag_;
+  std::uint64_t shared_limit_;
+  std::uint64_t records_;
+};
+
+}  // namespace wankeeper::ycsb

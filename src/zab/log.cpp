@@ -1,0 +1,65 @@
+#include "zab/log.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wankeeper::zab {
+
+void TxnLog::append(LogEntry entry) {
+  if (!entries_.empty() && entry.zxid <= entries_.back().zxid) {
+    throw std::logic_error("TxnLog::append out of order");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+Zxid TxnLog::last_zxid() const {
+  return entries_.empty() ? kNoZxid : entries_.back().zxid;
+}
+
+bool TxnLog::contains(Zxid zxid) const { return find(zxid) != nullptr; }
+
+const LogEntry* TxnLog::find(Zxid zxid) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), zxid,
+      [](const LogEntry& e, Zxid z) { return e.zxid < z; });
+  if (it == entries_.end() || it->zxid != zxid) return nullptr;
+  return &*it;
+}
+
+std::size_t TxnLog::index_after(Zxid after) const {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), after,
+      [](Zxid z, const LogEntry& e) { return z < e.zxid; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+std::vector<LogEntry> TxnLog::entries_after(Zxid after) const {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), after,
+      [](Zxid z, const LogEntry& e) { return z < e.zxid; });
+  return {it, entries_.end()};
+}
+
+void TxnLog::truncate_after(Zxid keep_through) {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), keep_through,
+      [](Zxid z, const LogEntry& e) { return z < e.zxid; });
+  entries_.erase(it, entries_.end());
+}
+
+Zxid TxnLog::last_common_zxid(const TxnLog& other) const {
+  // zxids are globally unique per entry (epoch+counter), and both logs are
+  // prefixes of some total order up to divergence, so the last common zxid
+  // is the highest zxid present in both with identical history before it.
+  Zxid common = kNoZxid;
+  std::size_t i = 0;
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+  while (i < a.size() && i < b.size() && a[i].zxid == b[i].zxid) {
+    common = a[i].zxid;
+    ++i;
+  }
+  return common;
+}
+
+}  // namespace wankeeper::zab

@@ -1,0 +1,127 @@
+// Zab wire messages: election, discovery, synchronization, broadcast —
+// the four phases of Figure 2 (minus the WanKeeper L1/L2 extension, which
+// lives in wankeeper/).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "zab/log.h"
+
+namespace wankeeper::zab {
+
+// --- election ---
+
+// Broadcast by LOOKING peers; carries the sender's best-known candidate.
+struct VoteMsg : sim::Message {
+  std::uint64_t round = 0;   // election round (logical clock)
+  NodeId candidate = kNoNode;
+  Zxid candidate_zxid = kNoZxid;
+  std::int32_t candidate_priority = 0;  // deployment-assigned tie-break
+  const char* name() const override { return "zab.vote"; }
+};
+
+// Reply from a settled (FOLLOWING/LEADING) peer to a LOOKING one.
+struct CurrentLeaderMsg : sim::Message {
+  NodeId leader = kNoNode;
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.currentLeader"; }
+};
+
+// --- discovery ---
+
+struct FollowerInfoMsg : sim::Message {
+  std::uint32_t accepted_epoch = 0;
+  Zxid last_zxid = kNoZxid;
+  const char* name() const override { return "zab.followerInfo"; }
+};
+
+struct NewEpochMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.newEpoch"; }
+};
+
+struct AckEpochMsg : sim::Message {
+  std::uint32_t current_epoch = 0;
+  Zxid last_zxid = kNoZxid;
+  const char* name() const override { return "zab.ackEpoch"; }
+};
+
+// --- synchronization ---
+
+// TRUNC + DIFF in one message: drop everything after `truncate_to`, then
+// append `entries`. `commit_up_to` tells the learner how far it may apply.
+struct SyncMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  Zxid truncate_to = kNoZxid;
+  std::vector<LogEntry> entries;
+  Zxid commit_up_to = kNoZxid;
+  std::size_t wire_size() const override { return 64 + entries.size() * 128; }
+  const char* name() const override { return "zab.sync"; }
+};
+
+struct NewLeaderMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.newLeader"; }
+};
+
+struct AckNewLeaderMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.ackNewLeader"; }
+};
+
+struct UpToDateMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.upToDate"; }
+};
+
+// Observer announcing itself to the leader (non-voting learner).
+struct ObserverInfoMsg : sim::Message {
+  Zxid last_zxid = kNoZxid;
+  const char* name() const override { return "zab.observerInfo"; }
+};
+
+// --- broadcast ---
+
+struct ProposeMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  LogEntry entry;
+  std::size_t wire_size() const override { return 48 + entry.payload.size(); }
+  const char* name() const override { return "zab.propose"; }
+};
+
+struct AckMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  Zxid zxid = kNoZxid;
+  const char* name() const override { return "zab.ack"; }
+};
+
+struct CommitMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  Zxid zxid = kNoZxid;
+  const char* name() const override { return "zab.commit"; }
+};
+
+// Commit + payload for observers (ZooKeeper's INFORM).
+struct InformMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  LogEntry entry;
+  std::size_t wire_size() const override { return 48 + entry.payload.size(); }
+  const char* name() const override { return "zab.inform"; }
+};
+
+// Leader heartbeat; piggybacks the commit frontier so stragglers catch up.
+struct PingMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  Zxid commit_up_to = kNoZxid;
+  const char* name() const override { return "zab.ping"; }
+};
+
+struct PingReplyMsg : sim::Message {
+  std::uint32_t epoch = 0;
+  const char* name() const override { return "zab.pingReply"; }
+};
+
+}  // namespace wankeeper::zab

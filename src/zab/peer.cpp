@@ -1,0 +1,691 @@
+#include "zab/peer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wankeeper::zab {
+
+namespace {
+// Leader-side sync decision: where to truncate the learner's log. If the
+// learner's last zxid exists in our log we diff after it; otherwise its tail
+// diverged from a dead epoch and we resync from scratch (its committed
+// prefix is a prefix of ours by Zab safety, so this is just inefficient,
+// never incorrect).
+Zxid sync_truncate_point(const TxnLog& leader_log, Zxid learner_last) {
+  if (learner_last == kNoZxid || leader_log.contains(learner_last)) return learner_last;
+  return kNoZxid;
+}
+}  // namespace
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kLooking: return "looking";
+    case Role::kFollowing: return "following";
+    case Role::kLeading: return "leading";
+    case Role::kObserving: return "observing";
+  }
+  return "?";
+}
+
+Peer::Peer(sim::Simulator& sim, std::string name, StateMachine& sm, PeerOptions opts)
+    : Actor(sim, std::move(name)), sm_(sm), opts_(opts) {}
+
+void Peer::boot(sim::Network& net, std::vector<NodeId> voters,
+                std::vector<NodeId> observers, bool is_observer,
+                std::int32_t priority) {
+  net_ = &net;
+  voters_ = std::move(voters);
+  observers_ = std::move(observers);
+  is_observer_ = is_observer;
+  priority_ = priority;
+  // Stagger initial elections deterministically, highest priority first, so
+  // the intended leader's candidacy is on the wire before anyone else's.
+  std::size_t position = 0;
+  const auto& group = is_observer_ ? observers_ : voters_;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == id()) position = i;
+  }
+  const Time delay =
+      opts_.boot_stagger * static_cast<Time>(group.size() - position);
+  set_timer(delay, [this]() { kickstart(); });
+}
+
+void Peer::kickstart() {
+  if (role_ != Role::kLooking) return;
+  if (round_ == 0) {
+    start_election();
+    return;
+  }
+  // Already drawn into an election (or courting a leader) by messages that
+  // arrived before this timer: don't reset it, just arm the watchdog tick.
+  set_timer(opts_.vote_interval, [this]() { looking_tick_helper(); });
+}
+
+bool Peer::is_voter(NodeId n) const {
+  return std::find(voters_.begin(), voters_.end(), n) != voters_.end();
+}
+
+void Peer::send(NodeId to, sim::MessagePtr m) { net_->send(id(), to, std::move(m)); }
+
+void Peer::reset_volatile_role_state() {
+  role_ = Role::kLooking;
+  leader_ = kNoNode;
+  broadcasting_ = false;
+  awaiting_new_epoch_ = false;
+  new_epoch_ = 0;
+  votes_.clear();
+  follower_infos_.clear();
+  epoch_acks_.clear();
+  newleader_acks_.clear();
+  synced_followers_.clear();
+  synced_observers_.clear();
+  proposal_acks_.clear();
+  last_contact_.clear();
+}
+
+void Peer::on_crash() {
+  // Volatile state is rebuilt on restart; the log, epochs, and delivered
+  // frontier model durable storage and survive.
+}
+
+void Peer::on_restart() {
+  reset_volatile_role_state();
+  set_timer(opts_.boot_stagger, [this]() {
+    if (role_ == Role::kLooking && !awaiting_new_epoch_) {
+      start_election();
+    }
+  });
+}
+
+// ---------------------------------------------------------------- election
+
+void Peer::start_election() {
+  reset_volatile_role_state();
+  ++round_;
+  sm_.on_looking();
+  WK_DEBUG(now(), name(), "entering election round " + std::to_string(round_));
+  if (is_observer_) {
+    // Observers don't vote; probe the voters for an established leader.
+    for (NodeId v : voters_) {
+      auto m = std::make_shared<ObserverInfoMsg>();
+      m->last_zxid = last_logged();
+      send(v, m);
+    }
+  } else {
+    my_vote_ = Vote{id(), last_logged(), priority_};
+    votes_[id()] = my_vote_;
+    broadcast_vote();
+    evaluate_votes();  // handles single-node ensembles
+  }
+  set_timer(opts_.vote_interval, [this]() { looking_tick_helper(); });
+}
+
+// Re-armed polling while LOOKING; split out so the initial timer above and
+// subsequent ones share code.
+void Peer::looking_tick_helper() {
+  if (role_ != Role::kLooking) return;
+  if (awaiting_new_epoch_ && now() - awaiting_since_ > opts_.discovery_timeout) {
+    start_election();
+    return;
+  }
+  if (is_observer_) {
+    for (NodeId v : voters_) {
+      auto m = std::make_shared<ObserverInfoMsg>();
+      m->last_zxid = last_logged();
+      send(v, m);
+    }
+  } else if (!awaiting_new_epoch_) {
+    broadcast_vote();
+  }
+  set_timer(opts_.vote_interval, [this]() { looking_tick_helper(); });
+}
+
+void Peer::broadcast_vote() {
+  for (NodeId v : voters_) {
+    if (v == id()) continue;
+    auto m = std::make_shared<VoteMsg>();
+    m->round = round_;
+    m->candidate = my_vote_.candidate;
+    m->candidate_zxid = my_vote_.zxid;
+    m->candidate_priority = my_vote_.priority;
+    send(v, m);
+  }
+}
+
+void Peer::handle_vote(NodeId from, const VoteMsg& m) {
+  if (is_observer_) return;
+  if (role_ == Role::kFollowing && leader_ != kNoNode) {
+    auto reply = std::make_shared<CurrentLeaderMsg>();
+    reply->leader = leader_;
+    reply->epoch = current_epoch_;
+    send(from, reply);
+    return;
+  }
+  if (role_ == Role::kLeading) {
+    if (broadcasting_) {
+      auto reply = std::make_shared<CurrentLeaderMsg>();
+      reply->leader = id();
+      reply->epoch = current_epoch_;
+      send(from, reply);
+    }
+    return;  // mid-discovery: let our discovery timeout sort out races
+  }
+  // LOOKING
+  if (m.round > round_) {
+    round_ = m.round;
+    votes_.clear();
+    my_vote_ = Vote{id(), last_logged(), priority_};
+    votes_[id()] = my_vote_;
+  } else if (m.round < round_) {
+    auto reply = std::make_shared<VoteMsg>();
+    reply->round = round_;
+    reply->candidate = my_vote_.candidate;
+    reply->candidate_zxid = my_vote_.zxid;
+    reply->candidate_priority = my_vote_.priority;
+    send(from, reply);
+    return;
+  }
+  const Vote incoming{m.candidate, m.candidate_zxid, m.candidate_priority};
+  votes_[from] = incoming;
+  if (incoming.better_than(my_vote_)) {
+    my_vote_ = incoming;
+    votes_[id()] = my_vote_;
+    broadcast_vote();
+  }
+  evaluate_votes();
+}
+
+void Peer::evaluate_votes() {
+  if (awaiting_new_epoch_) return;
+  std::size_t support = 0;
+  for (const auto& [node, vote] : votes_) {
+    if (vote.candidate == my_vote_.candidate) ++support;
+  }
+  if (support < quorum()) return;
+  if (my_vote_.candidate == id()) {
+    enter_discovery();
+  } else {
+    follow(my_vote_.candidate);
+  }
+}
+
+void Peer::follow(NodeId leader) {
+  leader_ = leader;
+  awaiting_new_epoch_ = true;
+  awaiting_since_ = now();
+  auto m = std::make_shared<FollowerInfoMsg>();
+  m->accepted_epoch = accepted_epoch_;
+  m->last_zxid = last_logged();
+  send(leader, m);
+}
+
+void Peer::handle_current_leader(const CurrentLeaderMsg& m) {
+  if (role_ != Role::kLooking || awaiting_new_epoch_) return;
+  if (m.leader == kNoNode) return;
+  if (is_observer_) {
+    auto info = std::make_shared<ObserverInfoMsg>();
+    info->last_zxid = last_logged();
+    leader_ = m.leader;
+    send(m.leader, info);
+  } else if (m.leader == id()) {
+    // Stale report naming us; ignore and let voting continue.
+  } else {
+    follow(m.leader);
+  }
+}
+
+// --------------------------------------------------------------- discovery
+
+void Peer::enter_discovery() {
+  role_ = Role::kLeading;
+  broadcasting_ = false;
+  leader_ = id();
+  new_epoch_ = 0;
+  follower_infos_.clear();
+  epoch_acks_.clear();
+  newleader_acks_.clear();
+  synced_followers_.clear();
+  synced_observers_.clear();
+  proposal_acks_.clear();
+  follower_infos_[id()] = last_logged();
+  max_accepted_epoch_seen_ = accepted_epoch_;
+  WK_DEBUG(now(), name(), "leader-elect: entering discovery");
+  const std::uint64_t this_round = round_;
+  set_timer(opts_.discovery_timeout, [this, this_round]() {
+    if (role_ == Role::kLeading && !broadcasting_ && round_ == this_round) {
+      start_election();
+    }
+  });
+  maybe_start_epoch();
+}
+
+void Peer::maybe_start_epoch() {
+  if (new_epoch_ != 0 || follower_infos_.size() < quorum()) return;
+  new_epoch_ = max_accepted_epoch_seen_ + 1;
+  accepted_epoch_ = new_epoch_;
+  epoch_acks_.insert(id());
+  for (const auto& [node, zxid] : follower_infos_) {
+    if (node == id()) continue;
+    auto m = std::make_shared<NewEpochMsg>();
+    m->epoch = new_epoch_;
+    send(node, m);
+  }
+  maybe_finish_discovery();
+}
+
+void Peer::handle_follower_info(NodeId from, const FollowerInfoMsg& m) {
+  if (role_ != Role::kLeading) return;
+  if (broadcasting_) {
+    // Late joiner on an established ensemble.
+    auto reply = std::make_shared<NewEpochMsg>();
+    reply->epoch = current_epoch_;
+    send(from, reply);
+    return;
+  }
+  follower_infos_[from] = m.last_zxid;
+  max_accepted_epoch_seen_ = std::max(max_accepted_epoch_seen_, m.accepted_epoch);
+  if (new_epoch_ != 0) {
+    // Discovery already under way; bring the straggler along.
+    auto reply = std::make_shared<NewEpochMsg>();
+    reply->epoch = new_epoch_;
+    send(from, reply);
+    return;
+  }
+  maybe_start_epoch();
+}
+
+void Peer::handle_new_epoch(NodeId from, const NewEpochMsg& m) {
+  if (m.epoch < accepted_epoch_) return;
+  if (role_ == Role::kLeading && broadcasting_ && m.epoch <= current_epoch_) return;
+  accepted_epoch_ = m.epoch;
+  leader_ = from;
+  awaiting_new_epoch_ = true;
+  awaiting_since_ = now();
+  if (role_ != Role::kLooking) {
+    // A newer epoch supersedes whatever we were doing.
+    role_ = Role::kLooking;
+    broadcasting_ = false;
+  }
+  auto reply = std::make_shared<AckEpochMsg>();
+  reply->current_epoch = current_epoch_;
+  reply->last_zxid = last_logged();
+  send(from, reply);
+}
+
+void Peer::handle_ack_epoch(NodeId from, const AckEpochMsg& m) {
+  if (role_ != Role::kLeading) return;
+  if (!broadcasting_ && m.last_zxid > last_logged()) {
+    // A follower has history we lack: abdicate, re-elect (it will win).
+    WK_DEBUG(now(), name(), "abdicating: follower has newer history");
+    start_election();
+    return;
+  }
+  follower_infos_[from] = m.last_zxid;
+  if (broadcasting_) {
+    sync_learner(from, m.last_zxid, /*observer=*/false);
+    return;
+  }
+  epoch_acks_.insert(from);
+  maybe_finish_discovery();
+}
+
+void Peer::maybe_finish_discovery() {
+  if (broadcasting_ || epoch_acks_.size() < quorum()) return;
+  current_epoch_ = new_epoch_;
+  counter_ = 0;
+  sync_point_ = last_logged();
+  newleader_acks_.insert(id());
+  for (NodeId f : epoch_acks_) {
+    if (f == id()) continue;
+    sync_learner(f, follower_infos_[f], /*observer=*/false);
+  }
+  // Single-node ensembles establish immediately.
+  if (newleader_acks_.size() >= quorum()) establish_leadership();
+}
+
+// -------------------------------------------------------------------- sync
+
+void Peer::sync_learner(NodeId learner, Zxid learner_last, bool observer) {
+  const Zxid trunc = sync_truncate_point(log_, learner_last);
+  auto sync = std::make_shared<SyncMsg>();
+  sync->epoch = broadcasting_ ? current_epoch_ : new_epoch_;
+  sync->truncate_to = trunc;
+  sync->entries = log_.entries_after(trunc);
+  sync->commit_up_to = broadcasting_ ? commit_frontier_ : delivered_;
+  send(learner, sync);
+  auto nl = std::make_shared<NewLeaderMsg>();
+  nl->epoch = sync->epoch;
+  send(learner, nl);
+  if (observer) {
+    synced_observers_.insert(learner);
+  } else {
+    synced_followers_.insert(learner);
+  }
+  last_contact_[learner] = now();
+  if (broadcasting_) {
+    auto utd = std::make_shared<UpToDateMsg>();
+    utd->epoch = current_epoch_;
+    send(learner, utd);
+    auto commit = std::make_shared<CommitMsg>();
+    commit->epoch = current_epoch_;
+    commit->zxid = commit_frontier_;
+    send(learner, commit);
+  }
+}
+
+void Peer::handle_sync(NodeId from, const SyncMsg& m) {
+  if (m.epoch < accepted_epoch_) return;
+  accepted_epoch_ = m.epoch;
+  leader_ = from;
+  log_.truncate_after(m.truncate_to);
+  for (const auto& e : m.entries) {
+    if (e.zxid > log_.last_zxid()) log_.append(e);
+  }
+  advance_commit_frontier(m.commit_up_to);
+  deliver_committed();
+  last_leader_contact_ = now();
+  // Cumulative ack covering everything the sync handed us (voters only);
+  // without this, entries a late joiner received via sync rather than
+  // PROPOSE could never gather an ack quorum.
+  if (!is_observer_ && !m.entries.empty()) {
+    auto ack = std::make_shared<AckMsg>();
+    ack->epoch = m.epoch;
+    ack->zxid = log_.last_zxid();
+    send(from, ack);
+  }
+}
+
+void Peer::handle_new_leader(NodeId from, const NewLeaderMsg& m) {
+  if (from != leader_ || m.epoch < accepted_epoch_) return;
+  current_epoch_ = m.epoch;
+  awaiting_new_epoch_ = false;
+  role_ = is_observer_ ? Role::kObserving : Role::kFollowing;
+  auto ack = std::make_shared<AckNewLeaderMsg>();
+  ack->epoch = m.epoch;
+  send(from, ack);
+  last_leader_contact_ = now();
+  sm_.on_following(leader_, current_epoch_);
+  arm_follower_timer();
+}
+
+void Peer::handle_up_to_date(NodeId from, const UpToDateMsg& m) {
+  if (from != leader_ || m.epoch != current_epoch_) return;
+  last_leader_contact_ = now();
+}
+
+void Peer::handle_ack_new_leader(NodeId from, const AckNewLeaderMsg& m) {
+  if (role_ != Role::kLeading || m.epoch != current_epoch_) return;
+  note_contact(from);
+  newleader_acks_.insert(from);
+  if (!broadcasting_ && newleader_acks_.size() >= quorum()) establish_leadership();
+}
+
+void Peer::establish_leadership() {
+  broadcasting_ = true;
+  advance_commit_frontier(sync_point_);
+  deliver_committed();
+  WK_INFO(now(), name(), "established leadership, epoch " + std::to_string(current_epoch_));
+  for (NodeId f : synced_followers_) {
+    auto utd = std::make_shared<UpToDateMsg>();
+    utd->epoch = current_epoch_;
+    send(f, utd);
+    auto commit = std::make_shared<CommitMsg>();
+    commit->epoch = current_epoch_;
+    commit->zxid = commit_frontier_;
+    send(f, commit);
+  }
+  sm_.on_leading(current_epoch_);
+  arm_leader_timer();
+}
+
+// --------------------------------------------------------------- broadcast
+
+Zxid Peer::propose(std::vector<std::uint8_t> payload) {
+  if (!leading()) return kNoZxid;
+  ++counter_;
+  const Zxid zxid = make_zxid(current_epoch_, counter_);
+  LogEntry entry{zxid, std::move(payload)};
+  log_.append(entry);
+  proposal_acks_[zxid].insert(id());
+  for (NodeId f : synced_followers_) {
+    auto m = std::make_shared<ProposeMsg>();
+    m->epoch = current_epoch_;
+    m->entry = entry;
+    send(f, m);
+  }
+  maybe_commit();
+  return zxid;
+}
+
+// A learner may only append contiguously: within an epoch counters
+// increment by one; a new epoch starts at counter 1. Anything else means a
+// message was lost on a supposedly-FIFO channel (drops under partitions),
+// and acking past the hole would break the cumulative-ack invariant.
+bool Peer::extends_log(Zxid next) const {
+  const Zxid last = log_.last_zxid();
+  if (last == kNoZxid) return zxid_counter(next) == 1;
+  if (zxid_epoch(next) == zxid_epoch(last)) {
+    return zxid_counter(next) == zxid_counter(last) + 1;
+  }
+  return zxid_epoch(next) > zxid_epoch(last) && zxid_counter(next) == 1;
+}
+
+// Ask the leader to re-sync us (it responds with NEWEPOCH/SYNC as for a
+// late joiner). Throttled: one request per 200ms regardless of how many
+// out-of-order messages arrive meanwhile.
+void Peer::request_resync() {
+  if (leader_ == kNoNode) return;
+  if (last_resync_request_ >= 0 &&
+      now() - last_resync_request_ < 200 * kMillisecond) {
+    return;
+  }
+  last_resync_request_ = now();
+  WK_DEBUG(now(), name(), "log gap detected; requesting re-sync");
+  if (is_observer_) {
+    auto m = std::make_shared<ObserverInfoMsg>();
+    m->last_zxid = last_logged();
+    send(leader_, m);
+  } else {
+    auto m = std::make_shared<FollowerInfoMsg>();
+    m->accepted_epoch = accepted_epoch_;
+    m->last_zxid = last_logged();
+    send(leader_, m);
+  }
+}
+
+void Peer::handle_propose(NodeId from, const ProposeMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = now();
+  if (m.entry.zxid > log_.last_zxid()) {
+    if (!extends_log(m.entry.zxid)) {
+      request_resync();
+      return;  // do NOT ack past the hole
+    }
+    log_.append(m.entry);
+  }
+  auto ack = std::make_shared<AckMsg>();
+  ack->epoch = m.epoch;
+  ack->zxid = m.entry.zxid;
+  send(from, ack);
+}
+
+void Peer::handle_ack(NodeId from, const AckMsg& m) {
+  if (role_ != Role::kLeading || m.epoch != current_epoch_) return;
+  note_contact(from);
+  // Acks are cumulative: an ack for z covers every outstanding z' <= z.
+  for (auto& [zxid, acks] : proposal_acks_) {
+    if (zxid <= m.zxid) acks.insert(from);
+  }
+  maybe_commit();
+}
+
+void Peer::maybe_commit() {
+  bool committed_any = false;
+  const Zxid old_frontier = commit_frontier_;
+  while (!proposal_acks_.empty() &&
+         proposal_acks_.begin()->second.size() >= quorum()) {
+    commit_frontier_ = std::max(commit_frontier_, proposal_acks_.begin()->first);
+    proposal_acks_.erase(proposal_acks_.begin());
+    committed_any = true;
+  }
+  if (!committed_any) return;
+  deliver_committed();
+  for (NodeId f : synced_followers_) {
+    auto commit = std::make_shared<CommitMsg>();
+    commit->epoch = current_epoch_;
+    commit->zxid = commit_frontier_;
+    send(f, commit);
+  }
+  // Observers learn committed entries (with payload) via INFORM.
+  for (std::size_t i = log_.index_after(old_frontier); i < log_.size(); ++i) {
+    const LogEntry& entry = log_.at(i);
+    if (entry.zxid > commit_frontier_) break;
+    for (NodeId o : synced_observers_) {
+      auto inform = std::make_shared<InformMsg>();
+      inform->epoch = current_epoch_;
+      inform->entry = entry;
+      send(o, inform);
+    }
+  }
+}
+
+void Peer::handle_commit(NodeId from, const CommitMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = now();
+  advance_commit_frontier(m.zxid);
+  deliver_committed();
+  // A commit frontier beyond our log means we lost a proposal at the tail
+  // (no later proposal will expose the gap): fetch the missing entries.
+  if (commit_frontier_ > log_.last_zxid()) request_resync();
+}
+
+void Peer::handle_inform(NodeId from, const InformMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = now();
+  if (m.entry.zxid > log_.last_zxid()) {
+    if (!extends_log(m.entry.zxid)) {
+      request_resync();
+      return;
+    }
+    log_.append(m.entry);
+  }
+  advance_commit_frontier(m.entry.zxid);
+  deliver_committed();
+}
+
+void Peer::handle_observer_info(NodeId from, const ObserverInfoMsg& m) {
+  if (role_ == Role::kLeading && broadcasting_) {
+    sync_learner(from, m.last_zxid, /*observer=*/true);
+  } else if (role_ == Role::kFollowing && leader_ != kNoNode) {
+    auto reply = std::make_shared<CurrentLeaderMsg>();
+    reply->leader = leader_;
+    reply->epoch = current_epoch_;
+    send(from, reply);
+  }
+}
+
+// ---------------------------------------------------------------- liveness
+
+void Peer::handle_ping(NodeId from, const PingMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = now();
+  advance_commit_frontier(m.commit_up_to);
+  deliver_committed();
+  if (commit_frontier_ > log_.last_zxid()) request_resync();
+  auto reply = std::make_shared<PingReplyMsg>();
+  reply->epoch = m.epoch;
+  send(from, reply);
+}
+
+void Peer::arm_leader_timer() {
+  set_timer(opts_.ping_interval, [this]() { leader_tick(); });
+}
+
+void Peer::leader_tick() {
+  if (role_ != Role::kLeading || !broadcasting_) return;
+  for (NodeId f : synced_followers_) {
+    auto ping = std::make_shared<PingMsg>();
+    ping->epoch = current_epoch_;
+    ping->commit_up_to = commit_frontier_;
+    send(f, ping);
+  }
+  for (NodeId o : synced_observers_) {
+    auto ping = std::make_shared<PingMsg>();
+    ping->epoch = current_epoch_;
+    ping->commit_up_to = commit_frontier_;
+    send(o, ping);
+  }
+  // Still in contact with a quorum?
+  std::size_t live = 1;  // self
+  for (NodeId v : voters_) {
+    if (v == id()) continue;
+    const auto it = last_contact_.find(v);
+    if (it != last_contact_.end() && now() - it->second <= opts_.leader_quorum_timeout) {
+      ++live;
+    }
+  }
+  if (live < quorum()) {
+    WK_INFO(now(), name(), "lost quorum contact; stepping down");
+    start_election();
+    return;
+  }
+  arm_leader_timer();
+}
+
+void Peer::arm_follower_timer() {
+  set_timer(opts_.ping_interval, [this]() { follower_tick(); });
+}
+
+void Peer::follower_tick() {
+  if (role_ != Role::kFollowing && role_ != Role::kObserving) return;
+  if (now() - last_leader_contact_ > opts_.follower_timeout) {
+    WK_INFO(now(), name(), "leader silent; re-electing");
+    start_election();
+    return;
+  }
+  arm_follower_timer();
+}
+
+void Peer::note_contact(NodeId from) { last_contact_[from] = now(); }
+
+// ----------------------------------------------------------------- helpers
+
+bool Peer::from_current_leader(NodeId from, std::uint32_t epoch) const {
+  return from == leader_ && epoch == current_epoch_ &&
+         (role_ == Role::kFollowing || role_ == Role::kObserving);
+}
+
+void Peer::advance_commit_frontier(Zxid z) {
+  commit_frontier_ = std::max(commit_frontier_, z);
+}
+
+void Peer::deliver_committed() {
+  for (std::size_t i = log_.index_after(delivered_); i < log_.size(); ++i) {
+    const LogEntry& entry = log_.at(i);
+    if (entry.zxid > commit_frontier_) break;
+    delivered_ = entry.zxid;
+    sm_.on_commit(entry);
+  }
+}
+
+void Peer::on_message(NodeId from, const sim::MessagePtr& msg) {
+  if (auto* m = dynamic_cast<const VoteMsg*>(msg.get())) return handle_vote(from, *m);
+  if (auto* m = dynamic_cast<const CurrentLeaderMsg*>(msg.get())) return handle_current_leader(*m);
+  if (auto* m = dynamic_cast<const FollowerInfoMsg*>(msg.get())) return handle_follower_info(from, *m);
+  if (auto* m = dynamic_cast<const NewEpochMsg*>(msg.get())) return handle_new_epoch(from, *m);
+  if (auto* m = dynamic_cast<const AckEpochMsg*>(msg.get())) return handle_ack_epoch(from, *m);
+  if (auto* m = dynamic_cast<const SyncMsg*>(msg.get())) return handle_sync(from, *m);
+  if (auto* m = dynamic_cast<const NewLeaderMsg*>(msg.get())) return handle_new_leader(from, *m);
+  if (auto* m = dynamic_cast<const AckNewLeaderMsg*>(msg.get())) return handle_ack_new_leader(from, *m);
+  if (auto* m = dynamic_cast<const UpToDateMsg*>(msg.get())) return handle_up_to_date(from, *m);
+  if (auto* m = dynamic_cast<const ObserverInfoMsg*>(msg.get())) return handle_observer_info(from, *m);
+  if (auto* m = dynamic_cast<const ProposeMsg*>(msg.get())) return handle_propose(from, *m);
+  if (auto* m = dynamic_cast<const AckMsg*>(msg.get())) return handle_ack(from, *m);
+  if (auto* m = dynamic_cast<const CommitMsg*>(msg.get())) return handle_commit(from, *m);
+  if (auto* m = dynamic_cast<const InformMsg*>(msg.get())) return handle_inform(from, *m);
+  if (auto* m = dynamic_cast<const PingMsg*>(msg.get())) return handle_ping(from, *m);
+  if (dynamic_cast<const PingReplyMsg*>(msg.get()) != nullptr) return note_contact(from);
+}
+
+}  // namespace wankeeper::zab

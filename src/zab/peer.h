@@ -1,0 +1,206 @@
+// A Zab peer: one replica of an atomic-broadcast ensemble, implementing the
+// protocol's four phases (election, discovery, synchronization, broadcast)
+// plus ZooKeeper's observer role (non-voting learners fed by INFORM).
+//
+// The peer owns ordering and durability; the replicated application sits
+// behind the StateMachine interface and receives committed entries in zxid
+// order. Crash/restart models a process with a durable log and snapshot:
+// the TxnLog, epochs, and delivered frontier survive; role and protocol
+// state do not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "zab/log.h"
+#include "zab/messages.h"
+
+namespace wankeeper::zab {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Called exactly once per committed entry, in zxid order.
+  virtual void on_commit(const LogEntry& entry) = 0;
+
+  // Role transitions (informational; a server uses these to route writes).
+  virtual void on_leading(std::uint32_t epoch) { (void)epoch; }
+  virtual void on_following(NodeId leader, std::uint32_t epoch) {
+    (void)leader;
+    (void)epoch;
+  }
+  virtual void on_looking() {}
+};
+
+enum class Role : std::uint8_t {
+  kLooking,     // electing (voters) or searching for a leader (observers)
+  kFollowing,   // voting follower, synced or syncing
+  kLeading,     // elected leader (possibly still syncing initial quorum)
+  kObserving,   // non-voting learner attached to a leader
+};
+
+const char* role_name(Role r);
+
+struct PeerOptions {
+  Time vote_interval = 150 * kMillisecond;       // rebroadcast votes while looking
+  Time discovery_timeout = 900 * kMillisecond;   // waiting for epoch quorum / NEWEPOCH
+  Time ping_interval = 75 * kMillisecond;        // leader heartbeat
+  Time follower_timeout = 700 * kMillisecond;    // silence from leader -> looking
+  Time leader_quorum_timeout = 900 * kMillisecond;  // leader lost quorum -> looking
+  Time boot_stagger = 10 * kMillisecond;         // per-peer offset at start_election
+};
+
+class Peer : public sim::Actor {
+ public:
+  Peer(sim::Simulator& sim, std::string name, StateMachine& sm,
+       PeerOptions opts = {});
+
+  // Wire the peer into its ensemble once all NodeIds exist. `voters` must
+  // include this peer's own id unless `is_observer`. `priority` breaks
+  // election ties after zxid comparison (higher wins), letting deployments
+  // place the leader deterministically (the paper pins it to Virginia);
+  // higher-priority peers also boot their election first.
+  void boot(sim::Network& net, std::vector<NodeId> voters,
+            std::vector<NodeId> observers, bool is_observer,
+            std::int32_t priority = 0);
+
+  // --- introspection ---
+  Role role() const { return role_; }
+  bool leading() const { return up() && role_ == Role::kLeading && broadcasting_; }
+  NodeId leader() const { return leader_; }
+  std::uint32_t current_epoch() const { return current_epoch_; }
+  Zxid last_logged() const { return log_.last_zxid(); }
+  Zxid last_delivered() const { return delivered_; }
+  const TxnLog& log() const { return log_; }
+  bool is_observer() const { return is_observer_; }
+  std::size_t quorum() const { return voters_.size() / 2 + 1; }
+
+  // --- leader API ---
+  // Assigns a zxid, appends locally, broadcasts PROPOSE. Returns kNoZxid
+  // when this peer is not an established leader.
+  Zxid propose(std::vector<std::uint8_t> payload);
+
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+
+ protected:
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  struct Vote {
+    NodeId candidate = kNoNode;
+    Zxid zxid = kNoZxid;
+    std::int32_t priority = 0;
+    bool better_than(const Vote& o) const {
+      if (zxid != o.zxid) return zxid > o.zxid;
+      if (priority != o.priority) return priority > o.priority;
+      return candidate > o.candidate;
+    }
+  };
+
+  // --- election ---
+  void kickstart();
+  void start_election();
+  void looking_tick_helper();
+  void broadcast_vote();
+  void handle_vote(NodeId from, const VoteMsg& m);
+  void handle_current_leader(const CurrentLeaderMsg& m);
+  void evaluate_votes();
+  void follow(NodeId leader);
+
+  // --- discovery (leader-elect side) ---
+  void enter_discovery();
+  void maybe_start_epoch();
+  void handle_follower_info(NodeId from, const FollowerInfoMsg& m);
+  void handle_ack_epoch(NodeId from, const AckEpochMsg& m);
+  void maybe_finish_discovery();
+
+  // --- discovery/sync (follower side) ---
+  void handle_new_epoch(NodeId from, const NewEpochMsg& m);
+  void handle_sync(NodeId from, const SyncMsg& m);
+  void handle_new_leader(NodeId from, const NewLeaderMsg& m);
+  void handle_up_to_date(NodeId from, const UpToDateMsg& m);
+
+  // --- sync (leader side) ---
+  void sync_learner(NodeId learner, Zxid learner_last, bool observer);
+  void handle_ack_new_leader(NodeId from, const AckNewLeaderMsg& m);
+  void establish_leadership();
+
+  // --- broadcast ---
+  bool extends_log(Zxid next) const;
+  void request_resync();
+  void handle_propose(NodeId from, const ProposeMsg& m);
+  void handle_ack(NodeId from, const AckMsg& m);
+  void maybe_commit();
+  void handle_commit(NodeId from, const CommitMsg& m);
+  void handle_inform(NodeId from, const InformMsg& m);
+  void handle_observer_info(NodeId from, const ObserverInfoMsg& m);
+
+  // --- liveness ---
+  void handle_ping(NodeId from, const PingMsg& m);
+  void leader_tick();
+  void follower_tick();
+  void arm_follower_timer();
+  void arm_leader_timer();
+
+  // --- helpers ---
+  void send(NodeId to, sim::MessagePtr m);
+  void deliver_committed();
+  void advance_commit_frontier(Zxid z);
+  bool from_current_leader(NodeId from, std::uint32_t epoch) const;
+  void note_contact(NodeId from);
+  bool is_voter(NodeId n) const;
+  void reset_volatile_role_state();
+
+  StateMachine& sm_;
+  PeerOptions opts_;
+  sim::Network* net_ = nullptr;
+  std::vector<NodeId> voters_;
+  std::vector<NodeId> observers_;
+  bool is_observer_ = false;
+  std::int32_t priority_ = 0;
+
+  // --- durable state (survives crash) ---
+  TxnLog log_;
+  std::uint32_t accepted_epoch_ = 0;
+  std::uint32_t current_epoch_ = 0;
+  Zxid delivered_ = kNoZxid;  // applied frontier (models the snapshot)
+
+  // --- volatile state ---
+  Role role_ = Role::kLooking;
+  NodeId leader_ = kNoNode;
+  std::uint64_t round_ = 0;
+  Vote my_vote_;
+  std::map<NodeId, Vote> votes_;
+  bool awaiting_new_epoch_ = false;
+  Time awaiting_since_ = 0;
+
+  // leader-elect / leader
+  bool broadcasting_ = false;  // true once leadership is established
+  std::uint32_t new_epoch_ = 0;
+  std::uint32_t max_accepted_epoch_seen_ = 0;
+  Zxid sync_point_ = kNoZxid;  // log frontier committed at establishment
+  std::map<NodeId, Zxid> follower_infos_;
+  std::set<NodeId> epoch_acks_;
+  std::set<NodeId> newleader_acks_;
+  std::set<NodeId> synced_followers_;
+  std::set<NodeId> synced_observers_;
+  std::uint32_t counter_ = 0;
+  std::map<Zxid, std::set<NodeId>> proposal_acks_;
+  Zxid commit_frontier_ = kNoZxid;
+  std::map<NodeId, Time> last_contact_;
+
+  // follower
+  Time last_leader_contact_ = 0;
+  Time last_resync_request_ = -1;
+};
+
+}  // namespace wankeeper::zab

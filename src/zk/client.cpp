@@ -1,0 +1,155 @@
+#include "zk/client.h"
+
+namespace wankeeper::zk {
+
+Client::Client(sim::Simulator& sim, std::string name, SessionId session)
+    : Actor(sim, std::move(name)), session_(session) {}
+
+void Client::connect(NodeId server, Callback cb, Time session_timeout) {
+  server_ = server;
+  connected_ = true;
+  ClientRequest req;
+  req.op.op = OpCode::kCreateSession;
+  req.session_timeout = session_timeout;
+  send_request(std::move(req), std::move(cb));
+  if (!ping_armed_) {
+    ping_armed_ = true;
+    set_timer(ping_interval_, [this]() { ping_tick(); });
+  }
+}
+
+void Client::reconnect(Callback cb) {
+  if (server_ == kNoNode) return;
+  connect(server_, std::move(cb));
+}
+
+void Client::ping_tick() {
+  if (!connected_) {
+    ping_armed_ = false;
+    return;
+  }
+  ClientRequest req;
+  req.session = session_;
+  req.op.op = OpCode::kPing;
+  req.xid = 0;
+  net_->send(id(), server_, sim::make_message<ClientRequest>(req));
+  set_timer(ping_interval_, [this]() { ping_tick(); });
+}
+
+void Client::send_request(ClientRequest req, Callback cb) {
+  req.session = session_;
+  req.xid = next_xid_++;
+  if (cb) pending_[req.xid] = std::move(cb);
+  net_->send(id(), server_, sim::make_message<ClientRequest>(std::move(req)));
+}
+
+void Client::create(const std::string& path, std::vector<std::uint8_t> data,
+                    bool ephemeral, bool sequential, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kCreate;
+  req.op.path = path;
+  req.op.data = std::move(data);
+  req.op.ephemeral = ephemeral;
+  req.op.sequential = sequential;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::create(const std::string& path, const std::string& data,
+                    bool ephemeral, bool sequential, Callback cb) {
+  create(path, std::vector<std::uint8_t>(data.begin(), data.end()), ephemeral,
+         sequential, std::move(cb));
+}
+
+void Client::remove(const std::string& path, std::int32_t version, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kDelete;
+  req.op.path = path;
+  req.op.version = version;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::set_data(const std::string& path, std::vector<std::uint8_t> data,
+                      std::int32_t version, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kSetData;
+  req.op.path = path;
+  req.op.data = std::move(data);
+  req.op.version = version;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::set_data(const std::string& path, const std::string& data,
+                      std::int32_t version, Callback cb) {
+  set_data(path, std::vector<std::uint8_t>(data.begin(), data.end()), version,
+           std::move(cb));
+}
+
+void Client::get_data(const std::string& path, bool watch, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kGetData;
+  req.op.path = path;
+  req.watch = watch;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::exists_node(const std::string& path, bool watch, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kExists;
+  req.op.path = path;
+  req.watch = watch;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::get_children(const std::string& path, bool watch, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kGetChildren;
+  req.op.path = path;
+  req.watch = watch;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::sync(Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kSync;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::multi(std::vector<Op> ops, Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kMulti;
+  req.multi_ops = std::move(ops);
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::close(Callback cb) {
+  ClientRequest req;
+  req.op.op = OpCode::kCloseSession;
+  connected_ = false;
+  send_request(std::move(req), std::move(cb));
+}
+
+void Client::on_message(NodeId from, const sim::MessagePtr& msg) {
+  (void)from;
+  if (const auto* m = dynamic_cast<const ClientReply*>(msg.get())) {
+    const auto it = pending_.find(m->xid);
+    if (it == pending_.end()) return;
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    ++ops_completed_;
+    ClientResult result;
+    result.rc = m->rc;
+    result.data = m->data;
+    result.stat = m->stat;
+    result.children = m->children;
+    result.created_path = m->created_path;
+    result.zxid = m->zxid;
+    if (cb) cb(result);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const WatchNotifyMsg*>(msg.get())) {
+    if (watch_handler_) watch_handler_(m->path, m->event);
+    return;
+  }
+}
+
+}  // namespace wankeeper::zk

@@ -1,0 +1,92 @@
+// Client handle: the ZooKeeper-style API surface (create / delete / setData
+// / getData / exists / getChildren / sync / multi, watches, ephemeral and
+// sequential flags). Asynchronous with callbacks; requests pipeline FIFO
+// over a single connection to one server, matching the synchronous-API
+// semantics when the caller chains callbacks (as the YCSB driver does).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "store/datatree.h"
+#include "store/watch.h"
+#include "zk/messages.h"
+
+namespace wankeeper::zk {
+
+struct ClientResult {
+  store::Rc rc = store::Rc::kOk;
+  std::vector<std::uint8_t> data;
+  store::Stat stat;
+  std::vector<std::string> children;
+  std::string created_path;
+  Zxid zxid = kNoZxid;
+
+  bool ok() const { return rc == store::Rc::kOk; }
+};
+
+class Client : public sim::Actor {
+ public:
+  using Callback = std::function<void(const ClientResult&)>;
+  using WatchHandler =
+      std::function<void(const std::string& path, store::WatchEvent event)>;
+
+  // `session` must be unique across the deployment (callers hand out ids).
+  Client(sim::Simulator& sim, std::string name, SessionId session);
+
+  void set_network(sim::Network& net) { net_ = &net; }
+
+  SessionId session() const { return session_; }
+  NodeId server() const { return server_; }
+
+  // Establish the session against `server`. Further calls may be issued
+  // immediately; they pipeline behind the connect.
+  void connect(NodeId server, Callback cb = {}, Time session_timeout = 0);
+  // Re-establish an expired session against the same server (what a real
+  // ZooKeeper client does after SESSION_EXPIRED).
+  void reconnect(Callback cb = {});
+
+  void create(const std::string& path, std::vector<std::uint8_t> data,
+              bool ephemeral, bool sequential, Callback cb);
+  void create(const std::string& path, const std::string& data, bool ephemeral,
+              bool sequential, Callback cb);
+  void remove(const std::string& path, std::int32_t version, Callback cb);
+  void set_data(const std::string& path, std::vector<std::uint8_t> data,
+                std::int32_t version, Callback cb);
+  void set_data(const std::string& path, const std::string& data,
+                std::int32_t version, Callback cb);
+  void get_data(const std::string& path, bool watch, Callback cb);
+  void exists_node(const std::string& path, bool watch, Callback cb);
+  void get_children(const std::string& path, bool watch, Callback cb);
+  void sync(Callback cb);
+  void multi(std::vector<Op> ops, Callback cb);
+  void close(Callback cb = {});
+
+  void set_watch_handler(WatchHandler h) { watch_handler_ = std::move(h); }
+
+  std::uint64_t ops_completed() const { return ops_completed_; }
+
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void send_request(ClientRequest req, Callback cb);
+  void ping_tick();
+
+  sim::Network* net_ = nullptr;
+  SessionId session_;
+  NodeId server_ = kNoNode;
+  Xid next_xid_ = 1;
+  Time ping_interval_ = 1500 * kMillisecond;
+  std::map<Xid, Callback> pending_;
+  WatchHandler watch_handler_;
+  std::uint64_t ops_completed_ = 0;
+  bool connected_ = false;
+  bool ping_armed_ = false;
+};
+
+}  // namespace wankeeper::zk

@@ -1,0 +1,123 @@
+#include "zk/ensemble.h"
+
+#include <stdexcept>
+
+namespace wankeeper::zk {
+
+Ensemble::Ensemble(sim::Simulator& sim, sim::Network& net,
+                   std::vector<NodeSpec> specs, ServerOptions server_opts,
+                   zab::PeerOptions peer_opts, ServerFactory server_factory,
+                   const std::string& name_prefix)
+    : sim_(sim), net_(net) {
+  if (!server_factory) {
+    server_factory = [](sim::Simulator& s, const std::string& name,
+                        const ServerOptions& opts) {
+      return std::make_unique<Server>(s, name, opts);
+    };
+  }
+  nodes_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Node node;
+    node.spec = specs[i];
+    const std::string base = name_prefix + "-" + std::to_string(i);
+    node.server = server_factory(sim_, base, server_opts);
+    node.peer = std::make_unique<zab::Peer>(sim_, base + "-zab", *node.server,
+                                            peer_opts);
+    nodes_.push_back(std::move(node));
+  }
+  // Register servers first, then peers in spec order: the last voter peer
+  // gets the highest NodeId and wins the initial election.
+  for (auto& node : nodes_) {
+    // Wire site/network before add_node: registration invokes start(),
+    // which may capture them (the WanKeeper broker binds its transport).
+    node.server->set_site(node.spec.site);
+    node.server->set_network(net_);
+    node.server_id = net_.add_node(*node.server, node.spec.site);
+  }
+  std::vector<NodeId> voters;
+  std::vector<NodeId> observers;
+  std::map<NodeId, NodeId> peer_to_server;
+  for (auto& node : nodes_) {
+    node.peer_id = net_.add_node(*node.peer, node.spec.site);
+    peer_to_server[node.peer_id] = node.server_id;
+    (node.spec.observer ? observers : voters).push_back(node.peer_id);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    node.server->attach_peer(*node.peer);
+    node.server->set_peer_server_map(peer_to_server);
+    // Priority rises with spec order: the last voter is the intended leader.
+    node.peer->boot(net_, voters, observers, node.spec.observer,
+                    static_cast<std::int32_t>(i));
+  }
+}
+
+std::size_t Ensemble::node_at_site(SiteId site) const {
+  std::size_t fallback = npos;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].spec.site != site) continue;
+    if (!nodes_[i].spec.observer) return i;
+    if (fallback == npos) fallback = i;
+  }
+  if (fallback == npos) throw std::invalid_argument("no node at site");
+  return fallback;
+}
+
+std::size_t Ensemble::leader_index() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].peer->leading()) return i;
+  }
+  return npos;
+}
+
+Server* Ensemble::leader_server() {
+  const std::size_t i = leader_index();
+  return i == npos ? nullptr : nodes_[i].server.get();
+}
+
+void Ensemble::crash_node(std::size_t i) {
+  nodes_[i].server->crash();
+  nodes_[i].peer->crash();
+}
+
+void Ensemble::restart_node(std::size_t i) {
+  nodes_[i].server->restart();
+  nodes_[i].peer->restart();
+}
+
+bool Ensemble::wait_for_leader(Time max_wait) {
+  const Time deadline = sim_.now() + max_wait;
+  while (sim_.now() < deadline) {
+    if (leader_index() != npos) return true;
+    sim_.run_for(50 * kMillisecond);
+  }
+  return leader_index() != npos;
+}
+
+bool Ensemble::converged() const {
+  std::uint64_t digest = 0;
+  bool first = true;
+  for (const auto& node : nodes_) {
+    if (!node.server->up()) continue;
+    const std::uint64_t d = node.server->tree().digest();
+    if (first) {
+      digest = d;
+      first = false;
+    } else if (d != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Client> Ensemble::make_client(const std::string& name,
+                                              SiteId site, std::size_t node,
+                                              SessionId session) {
+  auto client = std::make_unique<Client>(sim_, name, session);
+  net_.add_node(*client, site);
+  client->set_network(net_);
+  client->connect(nodes_[node].server_id);
+  return client;
+}
+
+}  // namespace wankeeper::zk

@@ -1,0 +1,80 @@
+// Deployment builder for a single ZooKeeper-like ensemble: constructs the
+// co-located (server, zab peer) pairs across sites, wires ids, boots
+// elections, and offers test/bench conveniences (wait for leader, crash a
+// node, check replica convergence, make clients).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "zk/client.h"
+#include "zk/server.h"
+
+namespace wankeeper::zk {
+
+struct NodeSpec {
+  SiteId site = 0;
+  bool observer = false;
+};
+
+class Ensemble {
+ public:
+  // Creates one (server, peer) pair per spec. The *last voter in spec
+  // order* wins the initial election (empty logs tie-break on id), so put
+  // the intended leader site's voter last.
+  // `server_factory` lets WanKeeper substitute its broker subclass.
+  using ServerFactory = std::function<std::unique_ptr<Server>(
+      sim::Simulator&, const std::string& name, const ServerOptions&)>;
+
+  Ensemble(sim::Simulator& sim, sim::Network& net, std::vector<NodeSpec> specs,
+           ServerOptions server_opts = {}, zab::PeerOptions peer_opts = {},
+           ServerFactory server_factory = {}, const std::string& name_prefix = "zk");
+
+  std::size_t size() const { return nodes_.size(); }
+  Server& server(std::size_t i) { return *nodes_[i].server; }
+  zab::Peer& peer(std::size_t i) { return *nodes_[i].peer; }
+  NodeId server_id(std::size_t i) const { return nodes_[i].server_id; }
+  SiteId site_of_node(std::size_t i) const { return nodes_[i].spec.site; }
+  bool is_observer(std::size_t i) const { return nodes_[i].spec.observer; }
+
+  // Index of a server at `site` (first match), preferring voters.
+  std::size_t node_at_site(SiteId site) const;
+
+  // Current established leader's index, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t leader_index() const;
+  Server* leader_server();
+
+  void crash_node(std::size_t i);
+  void restart_node(std::size_t i);
+
+  // Runs the simulation until a leader is established (or deadline).
+  bool wait_for_leader(Time max_wait = 10 * kSecond);
+  // Runs until all up-to-date replicas report identical tree digests.
+  bool converged() const;
+
+  // Builds a client at `site`, connected to node index `node`.
+  std::unique_ptr<Client> make_client(const std::string& name, SiteId site,
+                                      std::size_t node, SessionId session);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+
+ private:
+  struct Node {
+    NodeSpec spec;
+    std::unique_ptr<Server> server;
+    std::unique_ptr<zab::Peer> peer;
+    NodeId server_id = kNoNode;
+    NodeId peer_id = kNoNode;
+  };
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace wankeeper::zk

@@ -1,0 +1,116 @@
+// Client-server and server-server wire messages for the ZooKeeper-like
+// service layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "store/datatree.h"
+#include "store/watch.h"
+
+namespace wankeeper::zk {
+
+enum class OpCode : std::uint8_t {
+  kCreateSession = 1,
+  kCloseSession = 2,
+  kCreate = 3,
+  kDelete = 4,
+  kSetData = 5,
+  kGetData = 6,
+  kExists = 7,
+  kGetChildren = 8,
+  kSync = 9,
+  kMulti = 10,
+  kPing = 11,
+};
+
+const char* op_name(OpCode op);
+
+inline bool is_write_op(OpCode op) {
+  switch (op) {
+    case OpCode::kCreate:
+    case OpCode::kDelete:
+    case OpCode::kSetData:
+    case OpCode::kMulti:
+    case OpCode::kCreateSession:
+    case OpCode::kCloseSession:
+    case OpCode::kSync:  // routed through the commit pipeline like a write
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One operation; multi requests carry several.
+struct Op {
+  OpCode op = OpCode::kGetData;
+  std::string path;
+  std::vector<std::uint8_t> data;
+  bool ephemeral = false;
+  bool sequential = false;
+  std::int32_t version = -1;  // delete/setData precondition (-1 = any)
+};
+
+struct ClientRequest : sim::Message {
+  SessionId session = kNoSession;
+  Xid xid = 0;
+  Op op;
+  bool watch = false;          // register watch on read ops
+  std::vector<Op> multi_ops;   // when op.op == kMulti
+  Time session_timeout = 0;    // kCreateSession
+
+  std::size_t wire_size() const override {
+    return 64 + op.path.size() + op.data.size();
+  }
+  const char* name() const override { return "zk.request"; }
+};
+
+struct ClientReply : sim::Message {
+  SessionId session = kNoSession;
+  Xid xid = 0;
+  OpCode op = OpCode::kPing;
+  store::Rc rc = store::Rc::kOk;
+  std::vector<std::uint8_t> data;       // getData
+  store::Stat stat;                      // getData/exists/setData
+  std::vector<std::string> children;     // getChildren
+  std::string created_path;              // create (resolved sequential name)
+  Zxid zxid = kNoZxid;                   // commit zxid for writes
+
+  std::size_t wire_size() const override { return 96 + data.size(); }
+  const char* name() const override { return "zk.reply"; }
+};
+
+struct WatchNotifyMsg : sim::Message {
+  SessionId session = kNoSession;
+  std::string path;
+  store::WatchEvent event = store::WatchEvent::kDataChanged;
+  const char* name() const override { return "zk.watch"; }
+};
+
+// Follower/observer server forwarding a write to the leader server.
+struct ForwardRequestMsg : sim::Message {
+  NodeId origin_server = kNoNode;
+  ClientRequest request;
+  std::size_t wire_size() const override { return 32 + request.wire_size(); }
+  const char* name() const override { return "zk.forward"; }
+};
+
+// Leader telling the origin server a request failed validation (the success
+// path flows back through the commit stream instead).
+struct RequestErrorMsg : sim::Message {
+  SessionId session = kNoSession;
+  Xid xid = 0;
+  store::Rc rc = store::Rc::kOk;
+  const char* name() const override { return "zk.requestError"; }
+};
+
+// Session keepalive relayed from the session's server to the leader.
+struct SessionTouchMsg : sim::Message {
+  std::vector<SessionId> sessions;
+  const char* name() const override { return "zk.sessionTouch"; }
+};
+
+}  // namespace wankeeper::zk

@@ -1,0 +1,59 @@
+#include "zk/session.h"
+
+#include <algorithm>
+
+namespace wankeeper::zk {
+
+void SessionTracker::add(SessionId session, Time timeout, Time now) {
+  sessions_[session] = Entry{timeout, now};
+}
+
+void SessionTracker::touch(SessionId session, Time now) {
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) it->second.last_touch = now;
+}
+
+void SessionTracker::remove(SessionId session) { sessions_.erase(session); }
+
+bool SessionTracker::known(SessionId session) const {
+  return sessions_.count(session) != 0;
+}
+
+std::vector<SessionId> SessionTracker::expired(
+    Time now, const std::vector<SessionId>& pinned) const {
+  std::vector<SessionId> out;
+  for (const auto& [id, entry] : sessions_) {
+    if (now - entry.last_touch <= entry.timeout) continue;
+    if (std::find(pinned.begin(), pinned.end(), id) != pinned.end()) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+LocalSession& LocalSessions::ensure(SessionId session, NodeId client, Time timeout) {
+  auto& s = sessions_[session];
+  s.client = client;
+  if (timeout > 0) s.timeout = timeout;
+  return s;
+}
+
+LocalSession* LocalSessions::find(SessionId session) {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const LocalSession* LocalSessions::find(SessionId session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void LocalSessions::remove(SessionId session) { sessions_.erase(session); }
+
+std::vector<SessionId> LocalSessions::ids() const {
+  std::vector<SessionId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) out.push_back(id);
+  return out;
+}
+
+}  // namespace wankeeper::zk

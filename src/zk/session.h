@@ -1,0 +1,71 @@
+// Session bookkeeping.
+//
+// SessionTracker runs on the leader: it owns expiry. Servers relay client
+// pings as SessionTouch messages; when a session goes silent past its
+// timeout the leader proposes a closeSession txn, which deletes the
+// session's ephemerals everywhere.
+//
+// LocalSessions runs on every server: it binds sessions to client
+// connections and holds the per-session FIFO request queue that gives
+// ZooKeeper's per-client ordering guarantee.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "zk/messages.h"
+
+namespace wankeeper::zk {
+
+class SessionTracker {
+ public:
+  void add(SessionId session, Time timeout, Time now);
+  void touch(SessionId session, Time now);
+  void remove(SessionId session);
+  bool known(SessionId session) const;
+  std::size_t count() const { return sessions_.size(); }
+
+  // Sessions whose timeout elapsed before `now`, excluding any in `pinned`
+  // (WanKeeper: sessions alive at other sites, learned via WAN heartbeats).
+  std::vector<SessionId> expired(Time now,
+                                 const std::vector<SessionId>& pinned = {}) const;
+
+ private:
+  struct Entry {
+    Time timeout;
+    Time last_touch;
+  };
+  std::map<SessionId, Entry> sessions_;
+};
+
+// Per-session state on the server that owns the client connection.
+struct LocalSession {
+  NodeId client = kNoNode;
+  Time timeout = 0;
+  // FIFO queue: requests execute strictly in arrival order, one at a time.
+  std::deque<ClientRequest> queue;
+  bool in_flight = false;
+  Xid in_flight_xid = 0;
+  bool in_flight_is_write = false;
+  OpCode in_flight_op = OpCode::kPing;
+  Time in_flight_since = 0;
+};
+
+class LocalSessions {
+ public:
+  LocalSession& ensure(SessionId session, NodeId client, Time timeout);
+  LocalSession* find(SessionId session);
+  const LocalSession* find(SessionId session) const;
+  void remove(SessionId session);
+  std::vector<SessionId> ids() const;
+  std::size_t count() const { return sessions_.size(); }
+  void clear() { sessions_.clear(); }
+
+ private:
+  std::map<SessionId, LocalSession> sessions_;
+};
+
+}  // namespace wankeeper::zk

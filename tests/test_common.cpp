@@ -1,0 +1,269 @@
+// Unit tests: serialization buffers, seeded RNG and distributions,
+// latency/throughput statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/buffer.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace wankeeper {
+namespace {
+
+// ---------------------------------------------------------------- buffer
+
+TEST(Buffer, RoundTripsScalars) {
+  BufferWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.boolean(true);
+  w.boolean(false);
+
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, RoundTripsStringsAndBlobs) {
+  BufferWriter w;
+  w.str("hello");
+  w.str("");
+  w.blob({1, 2, 3});
+  w.blob({});
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(Buffer, UnderflowThrows) {
+  BufferWriter w;
+  w.u8(1);
+  BufferReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u32(), BufferError);
+}
+
+TEST(Buffer, TruncatedStringThrows) {
+  BufferWriter w;
+  w.u32(100);  // claims a 100-byte string with no body
+  BufferReader r(w.bytes());
+  EXPECT_THROW(r.str(), BufferError);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformStaysInRangeAndCoversIt) {
+  Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, n] : counts) {
+    EXPECT_GT(n, 800) << "value " << v;  // ~1000 expected
+    EXPECT_LT(n, 1200) << "value " << v;
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(13);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, UniformZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- zipfian
+
+TEST(Zipfian, PmfMatchesFormula) {
+  // f(k; s, N) = (1/k^s) / sum_{n=1..N} 1/n^s  — the paper's formula.
+  Zipfian z(100, 0.99);
+  double total = 0;
+  for (std::uint64_t k = 1; k <= 100; ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.pmf(1), z.pmf(2));
+  EXPECT_GT(z.pmf(2), z.pmf(50));
+}
+
+TEST(Zipfian, EmpiricalFrequenciesTrackPmf) {
+  const std::uint64_t n = 100;
+  Zipfian z(n, 0.99);
+  Rng rng(17);
+  std::map<std::uint64_t, int> counts;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[z.next(rng)];
+  // Rank 0 (the hottest key) should match pmf(1) closely.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / draws, z.pmf(1), 0.01);
+  // Skew: top item much hotter than median item.
+  EXPECT_GT(counts[0], counts[49] * 10);
+}
+
+TEST(Zipfian, AllDrawsInRange) {
+  Zipfian z(10, 0.99);
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(z.next(rng), 10u);
+}
+
+TEST(Zipfian, EmptyKeyspaceThrows) {
+  EXPECT_THROW(Zipfian(0, 0.99), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- hotspot
+
+TEST(Hotspot, OpFractionLandsOnHotSet) {
+  Hotspot h(1000, 0.2, 0.8, 42);
+  EXPECT_EQ(h.hot_set().size(), 200u);
+  std::set<std::uint64_t> hot(h.hot_set().begin(), h.hot_set().end());
+  Rng rng(23);
+  int hot_hits = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    hot_hits += hot.count(h.next(rng)) != 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / draws, 0.8, 0.02);
+}
+
+TEST(Hotspot, DifferentSeedsGiveDifferentHotSets) {
+  Hotspot a(1000, 0.2, 0.8, 1);
+  Hotspot b(1000, 0.2, 0.8, 2);
+  std::set<std::uint64_t> sa(a.hot_set().begin(), a.hot_set().end());
+  int common = 0;
+  for (auto k : b.hot_set()) common += sa.count(k) != 0 ? 1 : 0;
+  // Expected overlap of two random 20% subsets is ~40 of 200.
+  EXPECT_LT(common, 100);
+}
+
+TEST(Hotspot, WholeKeyspaceHotDegeneratesToUniform) {
+  Hotspot h(100, 1.0, 0.8, 1);
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(h.next(rng), 100u);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(LatencyRecorder, MeanMinMaxPercentiles) {
+  LatencyRecorder r;
+  for (Time v : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) r.record(v * 1000);
+  EXPECT_EQ(r.count(), 10u);
+  EXPECT_DOUBLE_EQ(r.mean_ms(), 55.0);
+  EXPECT_EQ(r.min_us(), 10000);
+  EXPECT_EQ(r.max_us(), 100000);
+  EXPECT_EQ(r.percentile_us(0.5), 50000);
+  EXPECT_EQ(r.percentile_us(0.9), 90000);
+  EXPECT_EQ(r.percentile_us(1.0), 100000);
+  EXPECT_EQ(r.percentile_us(0.0), 10000);
+}
+
+TEST(LatencyRecorder, CdfIsMonotoneAndEndsAtOne) {
+  LatencyRecorder r;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) r.record(static_cast<Time>(rng.uniform(100000)));
+  const auto cdf = r.cdf(20);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LE(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.record(10);
+  b.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max_us(), 30);
+}
+
+TEST(LatencyRecorder, EmptyRecorderIsSafe) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean_us(), 0.0);
+  EXPECT_EQ(r.percentile_us(0.9), 0);
+  EXPECT_TRUE(r.cdf().empty());
+}
+
+TEST(ThroughputSeries, BucketsByWindow) {
+  ThroughputSeries s(10 * kSecond);
+  s.record(1 * kSecond);
+  s.record(2 * kSecond);
+  s.record(15 * kSecond);
+  s.record(25 * kSecond);
+  const auto ops = s.ops_per_sec();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_DOUBLE_EQ(ops[0], 0.2);
+  EXPECT_DOUBLE_EQ(ops[1], 0.1);
+  EXPECT_DOUBLE_EQ(ops[2], 0.1);
+}
+
+TEST(Types, ZxidPacksEpochAndCounter) {
+  const Zxid z = make_zxid(7, 1234);
+  EXPECT_EQ(zxid_epoch(z), 7u);
+  EXPECT_EQ(zxid_counter(z), 1234u);
+  EXPECT_GT(make_zxid(8, 0), make_zxid(7, 0xffffffffu));
+}
+
+}  // namespace
+}  // namespace wankeeper

@@ -1,0 +1,180 @@
+// Failure-injection property tests: random crash and partition schedules
+// over a loaded WanKeeper deployment must never violate token safety, and
+// after healing the system must recover liveness and converge.
+#include <gtest/gtest.h>
+
+#include "sim/failure.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "wankeeper/deployment.h"
+
+namespace wankeeper {
+namespace {
+
+constexpr SiteId kVA = 0;
+constexpr SiteId kCA = 1;
+constexpr SiteId kFRA = 2;
+
+struct LoadedDeployment {
+  sim::Simulator sim;
+  sim::Network net;
+  wk::TokenAuditor audit;
+  wk::Deployment deploy;
+  std::vector<std::unique_ptr<zk::Client>> clients;
+  std::vector<std::uint64_t> completed;
+  bool stop = false;
+
+  explicit LoadedDeployment(std::uint64_t seed, wk::DeploymentConfig cfg = {})
+      : sim(seed), net(sim, sim::LatencyModel::paper_wan()),
+        deploy(sim, net, cfg, &audit) {}
+
+  void start_load() {
+    auto setup = deploy.make_client("setup", kVA, 50);
+    sim.run_for(500 * kMillisecond);
+    int created = 0;
+    for (int k = 0; k < 10; ++k) {
+      setup->create("/k" + std::to_string(k), "0", false, false,
+                    [&](const zk::ClientResult&) { ++created; });
+    }
+    sim.run_for(5 * kSecond);
+
+    const SiteId sites[3] = {kVA, kCA, kFRA};
+    completed.assign(3, 0);
+    for (int i = 0; i < 3; ++i) {
+      clients.push_back(
+          deploy.make_client("c" + std::to_string(i), sites[i], 1000 + i));
+    }
+    sim.run_for(1 * kSecond);
+    for (int i = 0; i < 3; ++i) issue(i);
+  }
+
+  void issue(int i) {
+    if (stop) return;
+    auto& rng = sim.rng();
+    const std::string path = "/k" + std::to_string(rng.uniform(10));
+    clients[static_cast<std::size_t>(i)]->set_data(
+        path, "v", -1, [this, i](const zk::ClientResult& r) {
+          if (r.ok()) ++completed[static_cast<std::size_t>(i)];
+          if (r.rc == store::Rc::kSessionExpired) {
+            // The WAN heartbeater expired us while our site was cut off;
+            // do what a real client does and start a fresh session.
+            clients[static_cast<std::size_t>(i)]->reconnect();
+          }
+          issue(i);  // retry/continue regardless of rc
+        });
+  }
+};
+
+class FailureSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureSweep, RandomCrashesNeverViolateTokenSafety) {
+  LoadedDeployment d(GetParam());
+  d.start_load();
+
+  // Random single-node crashes with restart, over a minute of load.
+  Rng schedule(GetParam() * 97);
+  for (int i = 0; i < 4; ++i) {
+    const Time when = d.sim.now() + 5 * kSecond + static_cast<Time>(
+                          schedule.uniform(10 * kSecond));
+    const SiteId site = static_cast<SiteId>(schedule.uniform(3));
+    const std::size_t node = schedule.uniform(3);
+    sim::FailureInjector inject(d.net);
+    inject.crash_at(when, d.deploy.site_ensemble(site).server_id(node),
+                    5 * kSecond);
+    // The co-located zab peer shares the fate of its server.
+    d.sim.at(when, [&d, site, node]() {
+      d.deploy.site_ensemble(site).peer(node).crash();
+    });
+    d.sim.at(when + 5 * kSecond, [&d, site, node]() {
+      d.deploy.site_ensemble(site).peer(node).restart();
+    });
+    d.sim.run_for(12 * kSecond);
+  }
+  d.stop = true;
+  d.sim.run_for(20 * kSecond);  // quiesce
+
+  EXPECT_TRUE(d.audit.clean())
+      << (d.audit.violations().empty() ? "" : d.audit.violations().front());
+  EXPECT_TRUE(d.deploy.converged());
+  std::uint64_t total = d.completed[0] + d.completed[1] + d.completed[2];
+  EXPECT_GT(total, 100u) << "the system made little progress under failures";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSweep, ::testing::Values(3, 17, 23));
+
+TEST(Failures, PartitionedNonL2SiteStallsThenRecoversAndConverges) {
+  // With the default (long) token lease, a transient partition is pure CP:
+  // records whose tokens sit at the cut-off site stay unavailable
+  // elsewhere; everything else keeps committing. On heal, the reliable WAN
+  // streams resume, parked requests drain, and all replicas converge.
+  wk::DeploymentConfig cfg;
+  cfg.wan.lease_valid = 3 * kSecond;
+  cfg.wan.enable_l2_failover = false;
+  LoadedDeployment d(13, cfg);
+  d.start_load();
+  d.sim.run_for(10 * kSecond);  // tokens migrate under load
+
+  const std::uint64_t fra_before = d.completed[2];
+  const std::uint64_t ca_before = d.completed[1];
+  d.net.isolate_site(kFRA, true);
+  d.sim.run_for(20 * kSecond);
+  EXPECT_GT(d.completed[1], ca_before) << "California should make progress";
+
+  // Heal: Frankfurt resyncs and resumes; the load keeps running so every
+  // record receives fresh global writes.
+  d.net.isolate_site(kFRA, false);
+  d.sim.run_for(30 * kSecond);
+  EXPECT_GT(d.completed[2], fra_before) << "Frankfurt should resume after heal";
+  d.stop = true;
+  d.sim.run_for(20 * kSecond);
+  EXPECT_TRUE(d.audit.clean())
+      << (d.audit.violations().empty() ? "" : d.audit.violations().front());
+  EXPECT_TRUE(d.deploy.converged());
+}
+
+TEST(Failures, L2SiteFailoverUnderLoadKeepsSafety) {
+  wk::DeploymentConfig cfg;
+  cfg.wan.l2_failover_timeout = 3 * kSecond;
+  cfg.wan.lease_valid = 2 * kSecond;
+  cfg.wan.token_lease = 5 * kSecond;
+  LoadedDeployment d(29, cfg);
+  d.start_load();
+  d.sim.run_for(8 * kSecond);
+
+  // Virginia (the L2 site) dies under load; California must take over.
+  d.deploy.crash_site(kVA);
+  d.sim.run_for(20 * kSecond);
+  wk::Broker* l2 = d.deploy.l2_broker();
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->site(), kCA);
+
+  const std::uint64_t ca_before = d.completed[1];
+  const std::uint64_t fra_before = d.completed[2];
+  d.sim.run_for(20 * kSecond);
+  EXPECT_GT(d.completed[1], ca_before);
+  EXPECT_GT(d.completed[2], fra_before);
+  EXPECT_TRUE(d.audit.clean())
+      << (d.audit.violations().empty() ? "" : d.audit.violations().front());
+  d.stop = true;
+  d.sim.run_for(10 * kSecond);
+}
+
+TEST(Failures, MessageLossHandledByRetransmission) {
+  wk::DeploymentConfig cfg;
+  LoadedDeployment d(31, cfg);
+  d.net.set_drop_rate(0.01);  // 1% of every message, LAN and WAN alike
+  d.start_load();
+  d.sim.run_for(60 * kSecond);
+  d.net.set_drop_rate(0.0);
+  d.sim.run_for(10 * kSecond);  // lossless tail so every stream drains
+  d.stop = true;
+  d.sim.run_for(20 * kSecond);
+  EXPECT_TRUE(d.audit.clean())
+      << (d.audit.violations().empty() ? "" : d.audit.violations().front());
+  EXPECT_TRUE(d.deploy.converged());
+  const std::uint64_t total = d.completed[0] + d.completed[1] + d.completed[2];
+  EXPECT_GT(total, 30u);
+}
+
+}  // namespace
+}  // namespace wankeeper

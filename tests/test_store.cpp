@@ -1,0 +1,345 @@
+// Unit tests: znode paths, transactions, the data tree, and watches.
+#include <gtest/gtest.h>
+
+#include "store/datatree.h"
+#include "store/paths.h"
+#include "store/txn.h"
+#include "store/watch.h"
+
+namespace wankeeper::store {
+namespace {
+
+// ----------------------------------------------------------------- paths
+
+TEST(Paths, Validation) {
+  EXPECT_TRUE(valid_path("/"));
+  EXPECT_TRUE(valid_path("/a"));
+  EXPECT_TRUE(valid_path("/a/b/c"));
+  EXPECT_FALSE(valid_path(""));
+  EXPECT_FALSE(valid_path("a"));
+  EXPECT_FALSE(valid_path("/a/"));
+  EXPECT_FALSE(valid_path("/a//b"));
+}
+
+TEST(Paths, ParentAndBasename) {
+  EXPECT_EQ(parent_path("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(parent_path("/"), "");
+  EXPECT_EQ(basename("/a/b"), "b");
+  EXPECT_EQ(basename("/a"), "a");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(Paths, Join) {
+  EXPECT_EQ(join_path("/", "a"), "/a");
+  EXPECT_EQ(join_path("/a", "b"), "/a/b");
+}
+
+TEST(Paths, SequentialNames) {
+  EXPECT_EQ(sequential_name("lock-", 7), "lock-0000000007");
+  EXPECT_EQ(sequence_of("lock-0000000007"), 7);
+  EXPECT_EQ(sequence_of("lock-"), -1);
+  EXPECT_EQ(sequence_of("plain"), -1);
+  EXPECT_EQ(sequence_of("x0000000123"), 123);
+}
+
+// ------------------------------------------------------------------- txn
+
+TEST(Txn, EncodeDecodeRoundTrip) {
+  Txn t;
+  t.type = TxnType::kCreate;
+  t.zxid = make_zxid(3, 17);
+  t.path = "/a/b";
+  t.data = {1, 2, 3};
+  t.ephemeral = true;
+  t.version = 5;
+  t.session = 12345;
+  t.session_timeout = 6 * kSecond;
+  t.parent_cversion = 9;
+  t.paths = {"node:/x", "seq:/y"};
+  t.origin_site = 2;
+  t.origin_zxid = make_zxid(1, 1);
+  t.gseq = 777;
+  t.error = 4;
+  EXPECT_EQ(Txn::decode(t.encode()), t);
+}
+
+TEST(Txn, NestedMultiRoundTrip) {
+  Txn outer;
+  outer.type = TxnType::kMulti;
+  Txn a;
+  a.type = TxnType::kCreate;
+  a.path = "/m/a";
+  Txn b;
+  b.type = TxnType::kSetData;
+  b.path = "/m/b";
+  b.version = 3;
+  outer.ops = {a, b};
+  EXPECT_EQ(Txn::decode(outer.encode()), outer);
+}
+
+// -------------------------------------------------------------- datatree
+
+Txn create_txn(const std::string& path, Zxid zxid, const std::string& data = "",
+               bool ephemeral = false, SessionId owner = kNoSession,
+               std::int32_t parent_cversion = 0) {
+  Txn t;
+  t.type = TxnType::kCreate;
+  t.zxid = zxid;
+  t.path = path;
+  t.data.assign(data.begin(), data.end());
+  t.ephemeral = ephemeral;
+  t.session = owner;
+  t.parent_cversion = parent_cversion;
+  return t;
+}
+
+TEST(DataTree, CreateGetDelete) {
+  DataTree tree;
+  EXPECT_EQ(tree.apply(create_txn("/a", 1, "hello"), 100), Rc::kOk);
+  std::vector<std::uint8_t> data;
+  Stat stat;
+  EXPECT_EQ(tree.get_data("/a", &data, &stat), Rc::kOk);
+  EXPECT_EQ(std::string(data.begin(), data.end()), "hello");
+  EXPECT_EQ(stat.czxid, 1u);
+  EXPECT_EQ(stat.version, 0);
+
+  Txn del;
+  del.type = TxnType::kDelete;
+  del.zxid = 2;
+  del.path = "/a";
+  del.version = 0x7fffffff;
+  EXPECT_EQ(tree.apply(del, 200), Rc::kOk);
+  EXPECT_FALSE(tree.exists("/a"));
+}
+
+TEST(DataTree, CreateRequiresParent) {
+  DataTree tree;
+  EXPECT_EQ(tree.apply(create_txn("/a/b", 1), 0), Rc::kNoNode);
+}
+
+TEST(DataTree, DuplicateCreateRejected) {
+  DataTree tree;
+  EXPECT_EQ(tree.apply(create_txn("/a", 1), 0), Rc::kOk);
+  EXPECT_EQ(tree.apply(create_txn("/a", 2), 0), Rc::kNodeExists);
+}
+
+TEST(DataTree, DeleteNonEmptyRejected) {
+  DataTree tree;
+  tree.apply(create_txn("/a", 1), 0);
+  tree.apply(create_txn("/a/b", 2), 0);
+  Txn del;
+  del.type = TxnType::kDelete;
+  del.zxid = 3;
+  del.path = "/a";
+  del.version = 0x7fffffff;
+  EXPECT_EQ(tree.apply(del, 0), Rc::kNotEmpty);
+  EXPECT_TRUE(tree.exists("/a"));
+}
+
+TEST(DataTree, SetDataStampsVersion) {
+  DataTree tree;
+  tree.apply(create_txn("/a", 1), 0);
+  Txn set;
+  set.type = TxnType::kSetData;
+  set.zxid = 2;
+  set.path = "/a";
+  set.data = {'x'};
+  set.version = 1;
+  EXPECT_EQ(tree.apply(set, 50), Rc::kOk);
+  Stat stat;
+  tree.get_data("/a", nullptr, &stat);
+  EXPECT_EQ(stat.version, 1);
+  EXPECT_EQ(stat.mzxid, 2u);
+}
+
+TEST(DataTree, StaleZxidSkipped) {
+  DataTree tree;
+  tree.apply(create_txn("/a", 5, "v1"), 0);
+  // Replayed older txn must not re-apply.
+  Txn set;
+  set.type = TxnType::kSetData;
+  set.zxid = 4;
+  set.path = "/a";
+  set.data = {'z'};
+  set.version = 9;
+  EXPECT_EQ(tree.apply(set, 0), Rc::kOk);
+  std::vector<std::uint8_t> data;
+  tree.get_data("/a", &data);
+  EXPECT_EQ(std::string(data.begin(), data.end()), "v1");
+  EXPECT_EQ(tree.last_applied(), 5u);
+}
+
+TEST(DataTree, EphemeralsTrackedAndRemovedOnCloseSession) {
+  DataTree tree;
+  tree.apply(create_txn("/e1", 1, "", true, 100), 0);
+  tree.apply(create_txn("/e2", 2, "", true, 100), 0);
+  tree.apply(create_txn("/p", 3, "", false), 0);
+  EXPECT_EQ(tree.ephemerals_of(100).size(), 2u);
+
+  Txn close;
+  close.type = TxnType::kCloseSession;
+  close.zxid = 4;
+  close.session = 100;
+  EXPECT_EQ(tree.apply(close, 0), Rc::kOk);
+  EXPECT_FALSE(tree.exists("/e1"));
+  EXPECT_FALSE(tree.exists("/e2"));
+  EXPECT_TRUE(tree.exists("/p"));
+  EXPECT_TRUE(tree.ephemerals_of(100).empty());
+}
+
+TEST(DataTree, EphemeralsCannotHaveChildren) {
+  DataTree tree;
+  tree.apply(create_txn("/e", 1, "", true, 100), 0);
+  EXPECT_EQ(tree.apply(create_txn("/e/c", 2), 0), Rc::kNoChildrenForEphemerals);
+}
+
+TEST(DataTree, ChildrenListedSorted) {
+  DataTree tree;
+  tree.apply(create_txn("/p", 1), 0);
+  tree.apply(create_txn("/p/c", 2), 0);
+  tree.apply(create_txn("/p/a", 3), 0);
+  tree.apply(create_txn("/p/b", 4), 0);
+  std::vector<std::string> children;
+  EXPECT_EQ(tree.get_children("/p", &children), Rc::kOk);
+  EXPECT_EQ(children, (std::vector<std::string>{"a", "b", "c"}));
+  Stat stat;
+  tree.exists("/p", &stat);
+  EXPECT_EQ(stat.num_children, 3);
+}
+
+TEST(DataTree, ParentCversionTakesMaxForConvergence) {
+  // Two sites stamping the same counter value concurrently must converge.
+  DataTree a, b;
+  a.apply(create_txn("/p", 1), 0);
+  b.apply(create_txn("/p", 1), 0);
+  // Site A's create stamped cversion 2, site B's stamped 2 as well; each
+  // replica applies them in a different order.
+  auto ca = create_txn("/p/a", 2, "", false, kNoSession, 2);
+  auto cb = create_txn("/p/b", 3, "", false, kNoSession, 2);
+  a.apply(ca, 0);
+  a.apply(cb, 0);
+  auto ca2 = create_txn("/p/a", 3, "", false, kNoSession, 2);
+  auto cb2 = create_txn("/p/b", 2, "", false, kNoSession, 2);
+  b.apply(cb2, 0);
+  b.apply(ca2, 0);
+  Stat sa, sb;
+  a.exists("/p", &sa);
+  b.exists("/p", &sb);
+  EXPECT_EQ(sa.cversion, sb.cversion);
+  EXPECT_EQ(sa.num_children, 2);
+  EXPECT_EQ(sb.num_children, 2);
+}
+
+TEST(DataTree, DigestEqualForSameHistoryDiffersOtherwise) {
+  DataTree a, b;
+  for (Zxid z = 1; z <= 5; ++z) {
+    a.apply(create_txn("/n" + std::to_string(z), z, "v"), 0);
+    b.apply(create_txn("/n" + std::to_string(z), z, "v"), 0);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  b.apply(create_txn("/extra", 6), 0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(DataTree, SnapshotRestoreRoundTrip) {
+  DataTree tree;
+  tree.apply(create_txn("/a", 1, "x"), 10);
+  tree.apply(create_txn("/a/b", 2, "y", true, 42), 20);
+  Txn set;
+  set.type = TxnType::kSetData;
+  set.zxid = 3;
+  set.path = "/a";
+  set.data = {'z'};
+  set.version = 1;
+  tree.apply(set, 30);
+
+  const auto snap = tree.snapshot();
+  DataTree restored;
+  restored.restore(snap);
+  EXPECT_EQ(restored.digest(), tree.digest());
+  EXPECT_EQ(restored.last_applied(), tree.last_applied());
+  EXPECT_EQ(restored.ephemerals_of(42).size(), 1u);
+  std::vector<std::string> children;
+  restored.get_children("/a", &children);
+  EXPECT_EQ(children, (std::vector<std::string>{"b"}));
+}
+
+// ----------------------------------------------------------------- watch
+
+TEST(WatchManager, DataWatchFiresOnceOnSetData) {
+  WatchManager wm;
+  wm.add_data_watch("/a", 1);
+  Txn set;
+  set.type = TxnType::kSetData;
+  set.path = "/a";
+  auto fires = wm.on_txn(set);
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], (WatchFire{1, "/a", WatchEvent::kDataChanged}));
+  EXPECT_TRUE(wm.on_txn(set).empty());  // one-shot
+}
+
+TEST(WatchManager, CreateFiresExistsWatchAndParentChildWatch) {
+  WatchManager wm;
+  wm.add_data_watch("/p/c", 1);   // exists() watch on absent node
+  wm.add_child_watch("/p", 2);
+  Txn create;
+  create.type = TxnType::kCreate;
+  create.path = "/p/c";
+  const auto fires = wm.on_txn(create);
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], (WatchFire{1, "/p/c", WatchEvent::kCreated}));
+  EXPECT_EQ(fires[1], (WatchFire{2, "/p", WatchEvent::kChildrenChanged}));
+}
+
+TEST(WatchManager, DeleteFiresNodeAndParentWatches) {
+  WatchManager wm;
+  wm.add_data_watch("/p/c", 1);
+  wm.add_child_watch("/p/c", 2);
+  wm.add_child_watch("/p", 3);
+  Txn del;
+  del.type = TxnType::kDelete;
+  del.path = "/p/c";
+  const auto fires = wm.on_txn(del);
+  EXPECT_EQ(fires.size(), 3u);
+}
+
+TEST(WatchManager, CloseSessionFiresForImpliedDeletes) {
+  WatchManager wm;
+  wm.add_data_watch("/eph", 7);
+  Txn close;
+  close.type = TxnType::kCloseSession;
+  close.session = 9;
+  const auto fires = wm.on_txn(close, {"/eph"});
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].event, WatchEvent::kDeleted);
+}
+
+TEST(WatchManager, RemoveSessionDropsItsWatches) {
+  WatchManager wm;
+  wm.add_data_watch("/a", 1);
+  wm.add_data_watch("/a", 2);
+  wm.add_child_watch("/b", 1);
+  wm.remove_session(1);
+  EXPECT_EQ(wm.data_watch_count(), 1u);
+  EXPECT_EQ(wm.child_watch_count(), 0u);
+}
+
+TEST(WatchManager, MultiFiresSubOpWatches) {
+  WatchManager wm;
+  wm.add_data_watch("/x", 1);
+  wm.add_data_watch("/y", 2);
+  Txn multi;
+  multi.type = TxnType::kMulti;
+  Txn sx;
+  sx.type = TxnType::kSetData;
+  sx.path = "/x";
+  Txn sy;
+  sy.type = TxnType::kSetData;
+  sy.path = "/y";
+  multi.ops = {sx, sy};
+  EXPECT_EQ(wm.on_txn(multi).size(), 2u);
+}
+
+}  // namespace
+}  // namespace wankeeper::store

@@ -1,0 +1,297 @@
+// Unit tests: token keys, the site/broker token tables, migration policies,
+// and the Markov predictor.
+#include <gtest/gtest.h>
+
+#include "wankeeper/policy.h"
+#include "wankeeper/predictor.h"
+#include "wankeeper/token.h"
+#include "wankeeper/token_manager.h"
+
+namespace wankeeper::wk {
+namespace {
+
+zk::Op make_op(zk::OpCode code, const std::string& path, bool sequential = false) {
+  zk::Op op;
+  op.op = code;
+  op.path = path;
+  op.sequential = sequential;
+  return op;
+}
+
+// ------------------------------------------------------------- token keys
+
+TEST(TokenKeys, SetDataTakesNodeToken) {
+  const auto keys = tokens_for_op(make_op(zk::OpCode::kSetData, "/a/b"));
+  EXPECT_EQ(keys, (std::vector<TokenKey>{"node:/a/b"}));
+}
+
+TEST(TokenKeys, SequentialCreateTakesBulkParentToken) {
+  const auto keys =
+      tokens_for_op(make_op(zk::OpCode::kCreate, "/locks/l-", /*sequential=*/true));
+  EXPECT_EQ(keys, (std::vector<TokenKey>{"seq:/locks"}));
+}
+
+TEST(TokenKeys, OpsOnSequentialNodesUseBulkToken) {
+  // A node whose name carries the 10-digit suffix belongs to its parent's
+  // bulk record (§III-B: sequential siblings move together).
+  const auto del = tokens_for_op(make_op(zk::OpCode::kDelete, "/locks/l-0000000004"));
+  EXPECT_EQ(del, (std::vector<TokenKey>{"seq:/locks"}));
+  const auto set = tokens_for_op(make_op(zk::OpCode::kSetData, "/locks/l-0000000004"));
+  EXPECT_EQ(set, (std::vector<TokenKey>{"seq:/locks"}));
+}
+
+TEST(TokenKeys, ReadsNeedNoTokens) {
+  EXPECT_TRUE(tokens_for_op(make_op(zk::OpCode::kGetData, "/a")).empty());
+  EXPECT_TRUE(tokens_for_op(make_op(zk::OpCode::kGetChildren, "/a")).empty());
+  EXPECT_TRUE(tokens_for_op(make_op(zk::OpCode::kExists, "/a")).empty());
+}
+
+TEST(TokenKeys, MultiTakesUnionDeduplicated) {
+  zk::ClientRequest req;
+  req.op.op = zk::OpCode::kMulti;
+  req.multi_ops = {make_op(zk::OpCode::kSetData, "/x"),
+                   make_op(zk::OpCode::kSetData, "/y"),
+                   make_op(zk::OpCode::kSetData, "/x")};
+  const auto keys = tokens_for_request(req);
+  EXPECT_EQ(keys, (std::vector<TokenKey>{"node:/x", "node:/y"}));
+}
+
+TEST(TokenKeys, TxnMirrorsRequestKeys) {
+  store::Txn txn;
+  txn.type = store::TxnType::kCreate;
+  txn.path = "/locks/l-0000000009";
+  EXPECT_EQ(tokens_for_txn(txn), (std::vector<TokenKey>{"seq:/locks"}));
+  txn.path = "/plain";
+  EXPECT_EQ(tokens_for_txn(txn), (std::vector<TokenKey>{"node:/plain"}));
+}
+
+// --------------------------------------------------------- SiteTokenTable
+
+TEST(SiteTokenTable, GrantThenHoldThenReturn) {
+  SiteTokenTable t;
+  EXPECT_FALSE(t.holds_all({"node:/a"}));
+  t.apply_granted({"node:/a", "node:/b"});
+  EXPECT_TRUE(t.holds_all({"node:/a", "node:/b"}));
+  EXPECT_EQ(t.owned_count(), 2u);
+  t.apply_returned({"node:/a"});
+  EXPECT_FALSE(t.holds_all({"node:/a"}));
+  EXPECT_TRUE(t.holds_all({"node:/b"}));
+}
+
+TEST(SiteTokenTable, RecallMovesToOutgoingAndBlocksLocalUse) {
+  SiteTokenTable t;
+  t.apply_granted({"node:/a"});
+  const auto start = t.begin_recall({"node:/a"});
+  EXPECT_EQ(start, (std::vector<TokenKey>{"node:/a"}));
+  EXPECT_TRUE(t.owns("node:/a"));       // still owned...
+  EXPECT_TRUE(t.outgoing("node:/a"));   // ...but leaving
+  EXPECT_FALSE(t.holds_all({"node:/a"}));
+  // A duplicate recall while the return is in flight starts nothing.
+  EXPECT_TRUE(t.begin_recall({"node:/a"}).empty());
+  t.apply_returned({"node:/a"});
+  EXPECT_FALSE(t.owns("node:/a"));
+  EXPECT_FALSE(t.outgoing("node:/a"));
+}
+
+TEST(SiteTokenTable, RecallBeforeGrantIsDeferred) {
+  SiteTokenTable t;
+  // Recall raced ahead of the grant (possible across leader changes).
+  EXPECT_TRUE(t.begin_recall({"node:/a"}).empty());
+  const auto pending = t.take_pending_recalls({"node:/a"});
+  EXPECT_EQ(pending, (std::vector<TokenKey>{"node:/a"}));
+  EXPECT_TRUE(t.outgoing("node:/a"));
+  // Consumed: asking again yields nothing.
+  EXPECT_TRUE(t.take_pending_recalls({"node:/a"}).empty());
+}
+
+TEST(SiteTokenTable, ReturnPurgesStalePendingRecall) {
+  SiteTokenTable t;
+  t.begin_recall({"node:/a"});  // deferred
+  t.apply_returned({"node:/a"});
+  EXPECT_TRUE(t.take_pending_recalls({"node:/a"}).empty());
+}
+
+// ------------------------------------------------------- BrokerTokenTable
+
+TEST(BrokerTokenTable, DefaultOwnerIsBroker) {
+  BrokerTokenTable t;
+  EXPECT_EQ(t.owner("node:/a"), kNoSite);
+  t.set_owner("node:/a", 2);
+  EXPECT_EQ(t.owner("node:/a"), 2);
+  t.set_owner("node:/a", kNoSite);
+  EXPECT_EQ(t.owner("node:/a"), kNoSite);
+  EXPECT_EQ(t.migrated_count(), 0u);
+}
+
+TEST(BrokerTokenTable, RecordAccessDrivesConsecutivePolicy) {
+  BrokerTokenTable t;
+  ConsecutivePolicy policy(2);
+  EXPECT_FALSE(t.record_access("node:/a", 1, policy));  // consecutive = 1
+  EXPECT_TRUE(t.record_access("node:/a", 1, policy));   // consecutive = 2
+  EXPECT_FALSE(t.record_access("node:/a", 2, policy));  // site change resets
+  EXPECT_TRUE(t.record_access("node:/a", 2, policy));
+  const auto* h = t.history("node:/a");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_accesses, 4u);
+  EXPECT_EQ(h->last_site, 2);
+}
+
+TEST(BrokerTokenTable, ParkAndUnparkByMissingKeys) {
+  BrokerTokenTable t;
+  PendingRemote p1;
+  p1.from_site = 1;
+  p1.missing = {"node:/a", "node:/b"};
+  PendingRemote p2;
+  p2.from_site = 2;
+  p2.missing = {"node:/a"};
+  t.park(std::move(p1));
+  t.park(std::move(p2));
+  EXPECT_EQ(t.parked_count(), 2u);
+
+  auto ready = t.unpark("node:/a");
+  ASSERT_EQ(ready.size(), 1u);  // p2 has everything now
+  EXPECT_EQ(ready[0].from_site, 2);
+  EXPECT_EQ(t.parked_count(), 1u);
+
+  ready = t.unpark("node:/b");
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].from_site, 1);
+  EXPECT_EQ(t.parked_count(), 0u);
+}
+
+TEST(BrokerTokenTable, OwnedByListsSiteTokens) {
+  BrokerTokenTable t;
+  t.set_owner("node:/a", 1);
+  t.set_owner("node:/b", 1);
+  t.set_owner("node:/c", 2);
+  EXPECT_EQ(t.owned_by(1).size(), 2u);
+  EXPECT_EQ(t.owned_by(2).size(), 1u);
+  EXPECT_TRUE(t.owned_by(3).empty());
+}
+
+TEST(BrokerTokenTable, ClearVolatileKeepsOwnership) {
+  BrokerTokenTable t;
+  ConsecutivePolicy policy(2);
+  t.set_owner("node:/a", 1);
+  t.record_access("node:/b", 1, policy);
+  t.mark_recalling("node:/a", true);
+  PendingRemote p;
+  p.missing = {"node:/a"};
+  t.park(std::move(p));
+  t.clear_volatile();
+  EXPECT_EQ(t.owner("node:/a"), 1);            // snapshot-like
+  EXPECT_FALSE(t.recall_in_progress("node:/a"));  // volatile
+  EXPECT_EQ(t.parked_count(), 0u);
+  EXPECT_EQ(t.history("node:/b"), nullptr);
+}
+
+// ---------------------------------------------------------------- policies
+
+TEST(Policies, SpectrumEnds) {
+  NeverMigratePolicy never;
+  AlwaysMigratePolicy always;
+  AccessHistory h;
+  h.last_site = 1;
+  h.consecutive = 100;
+  EXPECT_FALSE(never.should_migrate("k", 1, h));
+  EXPECT_TRUE(always.should_migrate("k", 1, h));
+}
+
+TEST(Policies, ConsecutiveThreshold) {
+  ConsecutivePolicy r3(3);
+  AccessHistory h;
+  h.last_site = 1;
+  h.consecutive = 2;
+  EXPECT_FALSE(r3.should_migrate("k", 1, h));
+  h.consecutive = 3;
+  EXPECT_TRUE(r3.should_migrate("k", 1, h));
+  // History about another site never triggers for this requester.
+  EXPECT_FALSE(r3.should_migrate("k", 2, h));
+}
+
+TEST(Policies, FactoryParsesSpecs) {
+  EXPECT_STREQ(make_policy("never")->name(), "never");
+  EXPECT_STREQ(make_policy("always")->name(), "always");
+  EXPECT_STREQ(make_policy("predictive")->name(), "predictive");
+  auto c = make_policy("consecutive:5");
+  EXPECT_STREQ(c->name(), "consecutive");
+  EXPECT_EQ(static_cast<ConsecutivePolicy*>(c.get())->r(), 5u);
+  EXPECT_EQ(static_cast<ConsecutivePolicy*>(make_policy("consecutive").get())->r(), 2u);
+  EXPECT_THROW(make_policy("bogus"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- predictor
+
+TEST(Predictor, LearnsDominantTransition) {
+  MarkovPredictor p;
+  // Site 1 hammers the record; site 2 touches it occasionally.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) p.observe("rec", 1);
+    p.observe("rec", 2);
+  }
+  // From state (rec, site1) the next access is almost always site1 again.
+  p.observe("rec", 1);
+  const auto pred = p.predict_next_site("rec");
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->site, 1);
+  EXPECT_GT(pred->probability, 0.7);
+  EXPECT_GT(p.site_probability("rec", 1), 0.7);
+  EXPECT_LT(p.site_probability("rec", 2), 0.3);
+}
+
+TEST(Predictor, NoPredictionWithoutHistory) {
+  MarkovPredictor p;
+  EXPECT_FALSE(p.predict_next_site("rec").has_value());
+  p.observe("rec", 1);  // first access: no transition yet
+  EXPECT_FALSE(p.predict_next_site("rec").has_value());
+}
+
+TEST(Predictor, SlidingWindowForgetsOldPatterns) {
+  MarkovPredictor p(/*window=*/32);
+  for (int i = 0; i < 64; ++i) p.observe("rec", 1);
+  // The pattern shifts entirely to site 2.
+  for (int i = 0; i < 64; ++i) p.observe("rec", 2);
+  const auto pred = p.predict_next_site("rec");
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->site, 2);
+  EXPECT_GT(pred->probability, 0.9);
+}
+
+TEST(Predictor, RecordsAreIndependent) {
+  MarkovPredictor p;
+  for (int i = 0; i < 10; ++i) {
+    p.observe("a", 1);
+    p.observe("b", 2);
+  }
+  EXPECT_GT(p.site_probability("a", 1), 0.9);
+  EXPECT_GT(p.site_probability("b", 2), 0.9);
+  EXPECT_DOUBLE_EQ(p.site_probability("a", 2), 0.0);
+}
+
+TEST(PredictivePolicy, VetoesBurstsGrantsDominantSite) {
+  PredictivePolicy policy(0.6, /*fallback_r=*/2);
+  AccessHistory h;
+  // Train: per cycle, site 1 makes 6 accesses, site 2 makes 2.
+  auto access = [&](SiteId site) {
+    if (h.last_site == site) {
+      ++h.consecutive;
+    } else {
+      h.last_site = site;
+      h.consecutive = 1;
+    }
+    return policy.should_migrate("rec", site, h);
+  };
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 6; ++i) access(1);
+    for (int i = 0; i < 2; ++i) access(2);
+  }
+  // Site 2's 2-burst would satisfy r=2, but the model knows site 1 returns.
+  access(1);  // state (rec,1)
+  EXPECT_FALSE(access(2));  // first of the burst
+  EXPECT_FALSE(access(2));  // second: r=2 would migrate, predictor vetoes
+  // Site 1's very first access after the burst re-migrates immediately.
+  EXPECT_TRUE(access(1));
+}
+
+}  // namespace
+}  // namespace wankeeper::wk

@@ -1,0 +1,299 @@
+// End-to-end tests of the ZooKeeper-like substrate: full ensembles in the
+// simulator, real clients, leader failures, observers, watches, sessions.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "zk/ensemble.h"
+
+namespace wankeeper {
+namespace {
+
+using zk::Ensemble;
+using zk::NodeSpec;
+
+struct Fixture {
+  sim::Simulator sim{42};
+  sim::Network net{sim, sim::LatencyModel(1, 150 * kMicrosecond, 150 * kMicrosecond)};
+};
+
+// Single-site 3-node ensemble.
+std::vector<NodeSpec> three_local() {
+  return {{0, false}, {0, false}, {0, false}};
+}
+
+TEST(ZkIntegration, LeaderElectedOnBoot) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  // Last-registered voter wins the empty-log election.
+  EXPECT_EQ(ens.leader_index(), 2u);
+}
+
+TEST(ZkIntegration, CreateAndGet) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+
+  zk::ClientResult create_res;
+  client->create("/foo", "hello", false, false,
+                 [&](const zk::ClientResult& r) { create_res = r; });
+  f.sim.run_for(2 * kSecond);
+  ASSERT_EQ(create_res.rc, store::Rc::kOk);
+  EXPECT_EQ(create_res.created_path, "/foo");
+
+  zk::ClientResult get_res;
+  client->get_data("/foo", false,
+                   [&](const zk::ClientResult& r) { get_res = r; });
+  f.sim.run_for(1 * kSecond);
+  ASSERT_EQ(get_res.rc, store::Rc::kOk);
+  EXPECT_EQ(std::string(get_res.data.begin(), get_res.data.end()), "hello");
+  EXPECT_EQ(get_res.stat.version, 0);
+}
+
+TEST(ZkIntegration, WritesReplicateToAllNodes) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    client->create("/n" + std::to_string(i), "v", false, false,
+                   [&](const zk::ClientResult& r) {
+                     EXPECT_EQ(r.rc, store::Rc::kOk);
+                     ++done;
+                   });
+  }
+  f.sim.run_for(5 * kSecond);
+  EXPECT_EQ(done, 20);
+  EXPECT_TRUE(ens.converged());
+  for (std::size_t i = 0; i < ens.size(); ++i) {
+    EXPECT_EQ(ens.server(i).tree().node_count(), 21u) << "node " << i;
+  }
+}
+
+TEST(ZkIntegration, SequentialCreatesGetIncreasingNames) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  client->create("/q", "", false, false, {});
+  std::vector<std::string> names;
+  for (int i = 0; i < 5; ++i) {
+    client->create("/q/item-", "", false, true,
+                   [&](const zk::ClientResult& r) {
+                     ASSERT_EQ(r.rc, store::Rc::kOk);
+                     names.push_back(r.created_path);
+                   });
+  }
+  f.sim.run_for(3 * kSecond);
+  ASSERT_EQ(names.size(), 5u);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+}
+
+TEST(ZkIntegration, SetDataVersionConflictRejected) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  client->create("/v", "a", false, false, {});
+  zk::ClientResult r1, r2;
+  client->set_data("/v", "b", 0, [&](const zk::ClientResult& r) { r1 = r; });
+  client->set_data("/v", "c", 0, [&](const zk::ClientResult& r) { r2 = r; });
+  f.sim.run_for(3 * kSecond);
+  EXPECT_EQ(r1.rc, store::Rc::kOk);
+  EXPECT_EQ(r1.stat.version, 1);
+  EXPECT_EQ(r2.rc, store::Rc::kBadVersion);
+}
+
+TEST(ZkIntegration, WatchFiresOnDataChange) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto watcher = ens.make_client("w", 0, 0, 1001);
+  auto writer = ens.make_client("c", 0, 1, 1002);
+  writer->create("/w", "x", false, false, {});
+  f.sim.run_for(1 * kSecond);
+
+  std::vector<std::pair<std::string, store::WatchEvent>> events;
+  watcher->set_watch_handler([&](const std::string& p, store::WatchEvent e) {
+    events.emplace_back(p, e);
+  });
+  watcher->get_data("/w", /*watch=*/true, {});
+  f.sim.run_for(1 * kSecond);
+
+  writer->set_data("/w", "y", -1, {});
+  f.sim.run_for(1 * kSecond);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, "/w");
+  EXPECT_EQ(events[0].second, store::WatchEvent::kDataChanged);
+
+  // One-shot: a second write does not re-fire.
+  writer->set_data("/w", "z", -1, {});
+  f.sim.run_for(1 * kSecond);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(ZkIntegration, EphemeralsVanishWhenSessionExpires) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  client->create("/e", "x", true, false, {});
+  f.sim.run_for(1 * kSecond);
+  EXPECT_TRUE(ens.server(2).tree().exists("/e"));
+
+  // Kill the client: pings stop, the leader expires the session.
+  ens.net().actor(client->id()).crash();
+  f.sim.run_for(15 * kSecond);
+  EXPECT_FALSE(ens.server(0).tree().exists("/e"));
+  EXPECT_FALSE(ens.server(1).tree().exists("/e"));
+  EXPECT_TRUE(ens.converged());
+}
+
+TEST(ZkIntegration, FollowerServesLocalReads) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto writer = ens.make_client("cw", 0, 2, 2001);
+  writer->create("/r", "data", false, false, {});
+  f.sim.run_for(1 * kSecond);
+
+  auto reader = ens.make_client("cr", 0, 0, 2002);  // node 0 is a follower
+  zk::ClientResult res;
+  reader->get_data("/r", false, [&](const zk::ClientResult& r) { res = r; });
+  f.sim.run_for(1 * kSecond);
+  EXPECT_EQ(res.rc, store::Rc::kOk);
+  EXPECT_EQ(std::string(res.data.begin(), res.data.end()), "data");
+}
+
+TEST(ZkIntegration, LeaderCrashElectsNewLeaderAndClusterRecovers) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  const std::size_t old_leader = ens.leader_index();
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  client->create("/a", "1", false, false, {});
+  f.sim.run_for(1 * kSecond);
+
+  ens.crash_node(old_leader);
+  ASSERT_TRUE(ens.wait_for_leader(20 * kSecond));
+  const std::size_t new_leader = ens.leader_index();
+  EXPECT_NE(new_leader, old_leader);
+
+  // The surviving majority still accepts writes...
+  zk::ClientResult res;
+  client->create("/b", "2", false, false,
+                 [&](const zk::ClientResult& r) { res = r; });
+  f.sim.run_for(15 * kSecond);
+  EXPECT_EQ(res.rc, store::Rc::kOk);
+
+  // ...and the old leader catches up after restart.
+  ens.restart_node(old_leader);
+  f.sim.run_for(10 * kSecond);
+  EXPECT_TRUE(ens.server(old_leader).tree().exists("/a"));
+  EXPECT_TRUE(ens.server(old_leader).tree().exists("/b"));
+  EXPECT_TRUE(ens.converged());
+}
+
+TEST(ZkIntegration, MinorityPartitionBlocksWritesMajorityContinues) {
+  sim::Simulator sim{7};
+  // Three sites, one voter each, to exercise site partitions.
+  sim::Network net{sim, sim::LatencyModel(3, 150 * kMicrosecond, 5 * kMillisecond)};
+  Ensemble ens(sim, net, {{0, false}, {1, false}, {2, false}});
+  ASSERT_TRUE(ens.wait_for_leader());
+  EXPECT_EQ(ens.leader_index(), 2u);
+
+  // Cut site 0 (a follower) off.
+  net.isolate_site(0, true);
+  auto client = ens.make_client("c", 1, 1, 1001);
+  zk::ClientResult res;
+  client->create("/p", "x", false, false,
+                 [&](const zk::ClientResult& r) { res = r; });
+  sim.run_for(5 * kSecond);
+  EXPECT_EQ(res.rc, store::Rc::kOk);  // quorum of 2 still commits
+  EXPECT_FALSE(ens.server(0).tree().exists("/p"));
+
+  // Heal: the isolated follower catches up.
+  net.isolate_site(0, false);
+  sim.run_for(10 * kSecond);
+  EXPECT_TRUE(ens.server(0).tree().exists("/p"));
+}
+
+TEST(ZkIntegration, ObserverLearnsCommitsWithoutVoting) {
+  sim::Simulator sim{11};
+  sim::Network net{sim, sim::LatencyModel(2, 150 * kMicrosecond, 30 * kMillisecond)};
+  // 3 voters at site 0, observer at site 1.
+  Ensemble ens(sim, net, {{0, false}, {0, false}, {0, false}, {1, true}});
+  ASSERT_TRUE(ens.wait_for_leader());
+
+  auto client = ens.make_client("c", 0, 0, 1001);
+  client->create("/o", "x", false, false, {});
+  sim.run_for(3 * kSecond);
+  EXPECT_TRUE(ens.server(3).tree().exists("/o"));
+
+  // Observer-attached client reads locally and writes via forwarding.
+  auto oclient = ens.make_client("oc", 1, 3, 1002);
+  zk::ClientResult read_res, write_res;
+  oclient->get_data("/o", false, [&](const zk::ClientResult& r) { read_res = r; });
+  oclient->create("/from-observer", "y", false, false,
+                  [&](const zk::ClientResult& r) { write_res = r; });
+  sim.run_for(3 * kSecond);
+  EXPECT_EQ(read_res.rc, store::Rc::kOk);
+  EXPECT_EQ(write_res.rc, store::Rc::kOk);
+  EXPECT_TRUE(ens.converged());
+}
+
+TEST(ZkIntegration, MultiIsAtomic) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+
+  std::vector<zk::Op> ops(2);
+  ops[0].op = zk::OpCode::kCreate;
+  ops[0].path = "/m1";
+  ops[1].op = zk::OpCode::kCreate;
+  ops[1].path = "/m2";
+  zk::ClientResult ok_res;
+  client->multi(ops, [&](const zk::ClientResult& r) { ok_res = r; });
+  f.sim.run_for(2 * kSecond);
+  EXPECT_EQ(ok_res.rc, store::Rc::kOk);
+  EXPECT_TRUE(ens.server(0).tree().exists("/m1"));
+  EXPECT_TRUE(ens.server(0).tree().exists("/m2"));
+
+  // Second multi fails midway (duplicate /m1): nothing applies.
+  std::vector<zk::Op> bad(2);
+  bad[0].op = zk::OpCode::kCreate;
+  bad[0].path = "/m3";
+  bad[1].op = zk::OpCode::kCreate;
+  bad[1].path = "/m1";  // exists
+  zk::ClientResult bad_res;
+  client->multi(bad, [&](const zk::ClientResult& r) { bad_res = r; });
+  f.sim.run_for(2 * kSecond);
+  EXPECT_EQ(bad_res.rc, store::Rc::kNodeExists);
+  EXPECT_FALSE(ens.server(0).tree().exists("/m3"));
+}
+
+TEST(ZkIntegration, FifoClientOrderReadsSeeOwnWrites) {
+  Fixture f;
+  Ensemble ens(f.sim, f.net, three_local());
+  ASSERT_TRUE(ens.wait_for_leader());
+  auto client = ens.make_client("c0", 0, 0, 1001);
+  client->create("/fifo", "0", false, false, {});
+
+  // Pipelined write-then-read must observe the write (same session).
+  std::string read_back;
+  client->set_data("/fifo", "1", -1, {});
+  client->get_data("/fifo", false, [&](const zk::ClientResult& r) {
+    read_back = std::string(r.data.begin(), r.data.end());
+  });
+  f.sim.run_for(2 * kSecond);
+  EXPECT_EQ(read_back, "1");
+}
+
+}  // namespace
+}  // namespace wankeeper
