@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bulk_tokens.dir/abl_bulk_tokens.cpp.o"
+  "CMakeFiles/abl_bulk_tokens.dir/abl_bulk_tokens.cpp.o.d"
+  "abl_bulk_tokens"
+  "abl_bulk_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bulk_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_migration_policy.dir/abl_migration_policy.cpp.o"
+  "CMakeFiles/abl_migration_policy.dir/abl_migration_policy.cpp.o.d"
+  "abl_migration_policy"
+  "abl_migration_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_migration_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scfs.dir/fig10_scfs.cpp.o"
+  "CMakeFiles/fig10_scfs.dir/fig10_scfs.cpp.o.d"
+  "fig10_scfs"
+  "fig10_scfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

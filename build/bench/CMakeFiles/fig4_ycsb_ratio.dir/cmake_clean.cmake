@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ycsb_ratio.dir/fig4_ycsb_ratio.cpp.o"
+  "CMakeFiles/fig4_ycsb_ratio.dir/fig4_ycsb_ratio.cpp.o.d"
+  "fig4_ycsb_ratio"
+  "fig4_ycsb_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ycsb_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

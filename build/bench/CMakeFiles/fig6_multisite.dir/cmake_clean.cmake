@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_multisite.dir/fig6_multisite.cpp.o"
+  "CMakeFiles/fig6_multisite.dir/fig6_multisite.cpp.o.d"
+  "fig6_multisite"
+  "fig6_multisite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_multisite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_contention.cpp" "bench/CMakeFiles/fig7_contention.dir/fig7_contention.cpp.o" "gcc" "bench/CMakeFiles/fig7_contention.dir/fig7_contention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wk_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_contention.dir/fig7_contention.cpp.o"
+  "CMakeFiles/fig7_contention.dir/fig7_contention.cpp.o.d"
+  "fig7_contention"
+  "fig7_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bookkeeper.dir/fig8_bookkeeper.cpp.o"
+  "CMakeFiles/fig8_bookkeeper.dir/fig8_bookkeeper.cpp.o.d"
+  "fig8_bookkeeper"
+  "fig8_bookkeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bookkeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_log.dir/geo_log.cpp.o"
+  "CMakeFiles/geo_log.dir/geo_log.cpp.o.d"
+  "geo_log"
+  "geo_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

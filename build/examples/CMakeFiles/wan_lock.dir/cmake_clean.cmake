@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_lock.dir/wan_lock.cpp.o"
+  "CMakeFiles/wan_lock.dir/wan_lock.cpp.o.d"
+  "wan_lock"
+  "wan_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/bookie.cpp.o"
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/bookie.cpp.o.d"
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/ledger.cpp.o"
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/ledger.cpp.o.d"
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/writer.cpp.o"
+  "CMakeFiles/wk_bookkeeper.dir/bookkeeper/writer.cpp.o.d"
+  "libwk_bookkeeper.a"
+  "libwk_bookkeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_bookkeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

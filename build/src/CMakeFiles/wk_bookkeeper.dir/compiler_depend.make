@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wk_bookkeeper.
+# This may be replaced when dependencies are built.

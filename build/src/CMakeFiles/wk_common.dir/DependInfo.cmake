@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/wk_common.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/wk_common.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/wk_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/wk_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/wk_common.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/wk_common.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/wk_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/wk_common.dir/common/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

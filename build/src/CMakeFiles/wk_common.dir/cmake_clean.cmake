@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_common.dir/common/buffer.cpp.o"
+  "CMakeFiles/wk_common.dir/common/buffer.cpp.o.d"
+  "CMakeFiles/wk_common.dir/common/logging.cpp.o"
+  "CMakeFiles/wk_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/wk_common.dir/common/random.cpp.o"
+  "CMakeFiles/wk_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/wk_common.dir/common/stats.cpp.o"
+  "CMakeFiles/wk_common.dir/common/stats.cpp.o.d"
+  "libwk_common.a"
+  "libwk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

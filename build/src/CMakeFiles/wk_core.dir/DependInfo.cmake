@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wankeeper/audit.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/audit.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/audit.cpp.o.d"
+  "/root/repo/src/wankeeper/broker.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/broker.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/broker.cpp.o.d"
+  "/root/repo/src/wankeeper/deployment.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/deployment.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/deployment.cpp.o.d"
+  "/root/repo/src/wankeeper/heartbeat.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/heartbeat.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/heartbeat.cpp.o.d"
+  "/root/repo/src/wankeeper/level2.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/level2.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/level2.cpp.o.d"
+  "/root/repo/src/wankeeper/policy.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/policy.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/policy.cpp.o.d"
+  "/root/repo/src/wankeeper/predictor.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/predictor.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/predictor.cpp.o.d"
+  "/root/repo/src/wankeeper/token.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/token.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/token.cpp.o.d"
+  "/root/repo/src/wankeeper/token_manager.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/token_manager.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/token_manager.cpp.o.d"
+  "/root/repo/src/wankeeper/wan_transport.cpp" "src/CMakeFiles/wk_core.dir/wankeeper/wan_transport.cpp.o" "gcc" "src/CMakeFiles/wk_core.dir/wankeeper/wan_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wk_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_core.dir/wankeeper/audit.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/audit.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/broker.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/broker.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/deployment.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/deployment.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/heartbeat.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/heartbeat.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/level2.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/level2.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/policy.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/policy.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/predictor.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/predictor.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/token.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/token.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/token_manager.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/token_manager.cpp.o.d"
+  "CMakeFiles/wk_core.dir/wankeeper/wan_transport.cpp.o"
+  "CMakeFiles/wk_core.dir/wankeeper/wan_transport.cpp.o.d"
+  "libwk_core.a"
+  "libwk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

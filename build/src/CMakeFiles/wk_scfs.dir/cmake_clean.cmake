@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_scfs.dir/scfs/metadata.cpp.o"
+  "CMakeFiles/wk_scfs.dir/scfs/metadata.cpp.o.d"
+  "CMakeFiles/wk_scfs.dir/scfs/workload.cpp.o"
+  "CMakeFiles/wk_scfs.dir/scfs/workload.cpp.o.d"
+  "libwk_scfs.a"
+  "libwk_scfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_scfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

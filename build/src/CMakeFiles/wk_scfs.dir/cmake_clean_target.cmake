@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwk_scfs.a"
+)

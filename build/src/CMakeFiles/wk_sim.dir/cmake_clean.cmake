@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_sim.dir/sim/failure.cpp.o"
+  "CMakeFiles/wk_sim.dir/sim/failure.cpp.o.d"
+  "CMakeFiles/wk_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/wk_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/wk_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/wk_sim.dir/sim/simulator.cpp.o.d"
+  "libwk_sim.a"
+  "libwk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

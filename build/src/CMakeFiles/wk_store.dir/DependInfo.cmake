@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/datatree.cpp" "src/CMakeFiles/wk_store.dir/store/datatree.cpp.o" "gcc" "src/CMakeFiles/wk_store.dir/store/datatree.cpp.o.d"
+  "/root/repo/src/store/paths.cpp" "src/CMakeFiles/wk_store.dir/store/paths.cpp.o" "gcc" "src/CMakeFiles/wk_store.dir/store/paths.cpp.o.d"
+  "/root/repo/src/store/txn.cpp" "src/CMakeFiles/wk_store.dir/store/txn.cpp.o" "gcc" "src/CMakeFiles/wk_store.dir/store/txn.cpp.o.d"
+  "/root/repo/src/store/watch.cpp" "src/CMakeFiles/wk_store.dir/store/watch.cpp.o" "gcc" "src/CMakeFiles/wk_store.dir/store/watch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_store.dir/store/datatree.cpp.o"
+  "CMakeFiles/wk_store.dir/store/datatree.cpp.o.d"
+  "CMakeFiles/wk_store.dir/store/paths.cpp.o"
+  "CMakeFiles/wk_store.dir/store/paths.cpp.o.d"
+  "CMakeFiles/wk_store.dir/store/txn.cpp.o"
+  "CMakeFiles/wk_store.dir/store/txn.cpp.o.d"
+  "CMakeFiles/wk_store.dir/store/watch.cpp.o"
+  "CMakeFiles/wk_store.dir/store/watch.cpp.o.d"
+  "libwk_store.a"
+  "libwk_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_ycsb.dir/ycsb/client.cpp.o"
+  "CMakeFiles/wk_ycsb.dir/ycsb/client.cpp.o.d"
+  "CMakeFiles/wk_ycsb.dir/ycsb/metrics.cpp.o"
+  "CMakeFiles/wk_ycsb.dir/ycsb/metrics.cpp.o.d"
+  "CMakeFiles/wk_ycsb.dir/ycsb/runner.cpp.o"
+  "CMakeFiles/wk_ycsb.dir/ycsb/runner.cpp.o.d"
+  "CMakeFiles/wk_ycsb.dir/ycsb/testbed.cpp.o"
+  "CMakeFiles/wk_ycsb.dir/ycsb/testbed.cpp.o.d"
+  "CMakeFiles/wk_ycsb.dir/ycsb/workload.cpp.o"
+  "CMakeFiles/wk_ycsb.dir/ycsb/workload.cpp.o.d"
+  "libwk_ycsb.a"
+  "libwk_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zab/log.cpp" "src/CMakeFiles/wk_zab.dir/zab/log.cpp.o" "gcc" "src/CMakeFiles/wk_zab.dir/zab/log.cpp.o.d"
+  "/root/repo/src/zab/peer.cpp" "src/CMakeFiles/wk_zab.dir/zab/peer.cpp.o" "gcc" "src/CMakeFiles/wk_zab.dir/zab/peer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_zab.dir/zab/log.cpp.o"
+  "CMakeFiles/wk_zab.dir/zab/log.cpp.o.d"
+  "CMakeFiles/wk_zab.dir/zab/peer.cpp.o"
+  "CMakeFiles/wk_zab.dir/zab/peer.cpp.o.d"
+  "libwk_zab.a"
+  "libwk_zab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_zab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

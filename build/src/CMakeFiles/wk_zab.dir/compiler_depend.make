@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wk_zab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_zk.dir/zk/client.cpp.o"
+  "CMakeFiles/wk_zk.dir/zk/client.cpp.o.d"
+  "CMakeFiles/wk_zk.dir/zk/ensemble.cpp.o"
+  "CMakeFiles/wk_zk.dir/zk/ensemble.cpp.o.d"
+  "CMakeFiles/wk_zk.dir/zk/server.cpp.o"
+  "CMakeFiles/wk_zk.dir/zk/server.cpp.o.d"
+  "CMakeFiles/wk_zk.dir/zk/session.cpp.o"
+  "CMakeFiles/wk_zk.dir/zk/session.cpp.o.d"
+  "libwk_zk.a"
+  "libwk_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

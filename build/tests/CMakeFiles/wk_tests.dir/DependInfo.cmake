@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/wk_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_consistency.cpp" "tests/CMakeFiles/wk_tests.dir/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_consistency.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/wk_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_harnesses.cpp" "tests/CMakeFiles/wk_tests.dir/test_harnesses.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_harnesses.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/wk_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_store.cpp" "tests/CMakeFiles/wk_tests.dir/test_store.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_store.cpp.o.d"
+  "/root/repo/tests/test_tokens.cpp" "tests/CMakeFiles/wk_tests.dir/test_tokens.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_tokens.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/wk_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_wankeeper_integration.cpp" "tests/CMakeFiles/wk_tests.dir/test_wankeeper_integration.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_wankeeper_integration.cpp.o.d"
+  "/root/repo/tests/test_zab.cpp" "tests/CMakeFiles/wk_tests.dir/test_zab.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_zab.cpp.o.d"
+  "/root/repo/tests/test_zk_integration.cpp" "tests/CMakeFiles/wk_tests.dir/test_zk_integration.cpp.o" "gcc" "tests/CMakeFiles/wk_tests.dir/test_zk_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wk_scfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_bookkeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_tests.dir/test_common.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_consistency.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_consistency.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_failures.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_failures.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_harnesses.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_harnesses.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_store.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_store.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_tokens.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_tokens.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_transport.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_transport.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_wankeeper_integration.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_wankeeper_integration.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_zab.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_zab.cpp.o.d"
+  "CMakeFiles/wk_tests.dir/test_zk_integration.cpp.o"
+  "CMakeFiles/wk_tests.dir/test_zk_integration.cpp.o.d"
+  "wk_tests"
+  "wk_tests.pdb"
+  "wk_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
