@@ -2,7 +2,13 @@
 // (single client in California). Paper shape: 80% (50%-write) and 90%
 // (100%-write) of WanKeeper writes complete in a couple of milliseconds;
 // ZooKeeper+observer writes cluster at 1 WAN RTT; plain ZooKeeper at 2 RTT.
+//
+// The flight recorder explains the shape: each run prints a per-phase
+// latency breakdown (where writes spend their time — queueing, Zab, WAN
+// hops, token waits) and, with --metrics-out FILE, dumps the WanKeeper
+// metrics registry as JSON. Both are byte-identical across same-seed runs.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/stats.h"
@@ -35,12 +41,29 @@ void print_cdf(const char* label, const LatencyRecorder& lat) {
   }
 }
 
+void print_breakdown(const RunResult& r) {
+  std::printf("   per-phase breakdown:\n");
+  std::printf("   %-12s %8s %10s %10s %12s\n", "span", "count", "p50_ms",
+              "p99_ms", "total_ms");
+  for (const auto& st : r.phase_breakdown) {
+    if (st.count == 0) continue;
+    std::printf("   %-12s %8zu %10.2f %10.2f %12.1f\n", st.kind.c_str(),
+                st.count, static_cast<double>(st.p50_us) / 1000.0,
+                static_cast<double>(st.p99_us) / 1000.0,
+                static_cast<double>(st.total_us) / 1000.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t ops = 10000;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") ops = 2000;
+    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
   }
   std::printf("=== Fig 5: write latency CDF, 1 client (California) ===\n");
 
@@ -56,6 +79,15 @@ int main(int argc, char** argv) {
                   r.writes.percentile_us(0.8) / 1000.0,
                   r.writes.percentile_us(0.9) / 1000.0,
                   r.writes.percentile_us(0.99) / 1000.0);
+      print_breakdown(r);
+      if (sys == SystemKind::kWanKeeper) {
+        std::printf("   slowest traces:\n");
+        for (const auto& t : r.slow_traces) std::printf("%s", t.c_str());
+        if (!metrics_out.empty() && wf == 1.0) {
+          std::ofstream out(metrics_out);
+          out << r.metrics_json;
+        }
+      }
     }
   }
   return 0;

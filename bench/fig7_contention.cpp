@@ -8,6 +8,7 @@
 // accesses in the interleaving.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "ycsb/runner.h"
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
                       "local wr%", "recalls"});
 
   double zko_at_100 = 0, wk_at_100 = 0;
+  std::vector<std::pair<double, RunResult>> wk_results;
   for (double overlap : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
     for (SystemKind sys : {SystemKind::kZooKeeper, SystemKind::kZooKeeperObserver,
                            SystemKind::kWanKeeper}) {
@@ -68,6 +70,24 @@ int main(int argc, char** argv) {
         std::printf("!! token audit violations\n");
         return 1;
       }
+      if (sys == SystemKind::kWanKeeper) wk_results.emplace_back(overlap, r);
+    }
+  }
+
+  // Where WanKeeper writes spend their time as contention rises: the
+  // token_wait and wan_hop phases should grow with overlap while enqueue
+  // and zab_propose stay flat.
+  std::printf("\n=== WanKeeper per-phase latency vs overlap ===\n");
+  TablePrinter phases({"overlap%", "span", "count", "p50 ms", "p99 ms",
+                       "total ms"});
+  for (const auto& [overlap, r] : wk_results) {
+    for (const auto& st : r.phase_breakdown) {
+      if (st.count == 0) continue;
+      phases.row({TablePrinter::num(overlap * 100, 0), st.kind,
+                  std::to_string(st.count),
+                  TablePrinter::num(static_cast<double>(st.p50_us) / 1000.0, 2),
+                  TablePrinter::num(static_cast<double>(st.p99_us) / 1000.0, 2),
+                  TablePrinter::num(static_cast<double>(st.total_us) / 1000.0, 1)});
     }
   }
   if (zko_at_100 > 0) {

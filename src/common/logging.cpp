@@ -5,20 +5,19 @@
 
 namespace wankeeper {
 
-namespace {
-
-LogLevel level_from_env() {
-  const char* env = std::getenv("WANKEEPER_LOG");
-  if (env == nullptr) return LogLevel::kOff;
-  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  return LogLevel::kOff;
+LogLevel log_level_from_string(const char* s) {
+  if (s == nullptr) return LogLevel::kOff;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;  // includes explicit "off" and any junk
 }
 
-LogLevel g_level = level_from_env();
+namespace {
+
+LogLevel g_level = log_level_from_string(std::getenv("WANKEEPER_LOG"));
 
 const char* level_name(LogLevel l) {
   switch (l) {

@@ -12,6 +12,10 @@ namespace wankeeper {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+// Parse a WANKEEPER_LOG value (trace|debug|info|warn|error|off). Unknown
+// strings and nullptr disable logging — a typo must never spam a bench run.
+LogLevel log_level_from_string(const char* s);
+
 class Logger {
  public:
   static LogLevel level();

@@ -1,0 +1,22 @@
+// The per-simulation observability context: one metrics registry plus one
+// tracer, owned by the Simulator so every actor (and the network) reaches
+// them through sim().obs() without extra wiring. One simulation == one
+// flight recorder; the context dies with the run.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wankeeper::obs {
+
+struct Context {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  void clear() {
+    metrics.clear();
+    tracer.clear();
+  }
+};
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace wankeeper::obs {
+
+namespace {
+
+std::string site_label(SiteId site) {
+  return site == kNoSite ? std::string("*") : std::to_string(site);
+}
+
+std::string fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name, SiteId site) {
+  return counters_[{name, site}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, SiteId site) {
+  return gauges_[{name, site}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, SiteId site) {
+  return histograms_[{name, site}];
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters_) {
+    if (key.first == name) total += c.value();
+  }
+  return total;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [key, c] : counters_) {
+    snap.counters.emplace_back(key.first, key.second, c.value());
+  }
+  for (const auto& [key, g] : gauges_) {
+    snap.gauges.emplace_back(key.first, key.second, g.value());
+  }
+  for (const auto& [key, h] : histograms_) {
+    HistogramSummary s;
+    s.name = key.first;
+    s.site = key.second;
+    s.count = h.count();
+    const auto& rec = h.recorder();
+    s.min_us = rec.min_us();
+    s.p50_us = rec.percentile_us(0.5);
+    s.p90_us = rec.percentile_us(0.9);
+    s.p99_us = rec.percentile_us(0.99);
+    s.max_us = rec.max_us();
+    s.mean_us = rec.mean_us();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, site, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "@" + site_label(site) +
+           "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, site, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "@" + site_label(site) +
+           "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + h.name + "@" + site_label(h.site) +
+           "\": {\"count\": " + std::to_string(h.count) +
+           ", \"min_us\": " + std::to_string(h.min_us) +
+           ", \"p50_us\": " + std::to_string(h.p50_us) +
+           ", \"p90_us\": " + std::to_string(h.p90_us) +
+           ", \"p99_us\": " + std::to_string(h.p99_us) +
+           ", \"max_us\": " + std::to_string(h.max_us) +
+           ", \"mean_us\": " + fixed(h.mean_us) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_table() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  char line[256];
+  for (const auto& [name, site, value] : snap.counters) {
+    std::snprintf(line, sizeof(line), "%-36s %-4s %12llu\n", name.c_str(),
+                  site_label(site).c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, site, value] : snap.gauges) {
+    std::snprintf(line, sizeof(line), "%-36s %-4s %12lld\n", name.c_str(),
+                  site_label(site).c_str(), static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& h : snap.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-36s %-4s n=%-8zu p50=%lldus p99=%lldus max=%lldus\n",
+                  h.name.c_str(), site_label(h.site).c_str(), h.count,
+                  static_cast<long long>(h.p50_us),
+                  static_cast<long long>(h.p99_us),
+                  static_cast<long long>(h.max_us));
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,98 @@
+// Flight-recorder metrics: a registry of named counters, gauges, and
+// histograms that any component can register against, scoped per site.
+//
+// Everything is driven by virtual time and deterministic counters, so two
+// runs with the same seed produce byte-identical snapshots — the registry
+// is the ground truth the benches cite when a perf PR claims a win.
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (node-based map), so hot paths can cache them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace wankeeper::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Exact-percentile histogram (raw samples, like LatencyRecorder; sample
+// volumes in our experiments make this affordable).
+class Histogram {
+ public:
+  void record(Time v) { recorder_.record(v); }
+  std::size_t count() const { return recorder_.count(); }
+  const LatencyRecorder& recorder() const { return recorder_; }
+
+ private:
+  LatencyRecorder recorder_;
+};
+
+class MetricsRegistry {
+ public:
+  // Metrics are keyed (name, site); site kNoSite means deployment-global.
+  // Dotted lower-case names by convention: "broker.grants", "net.wan_bytes".
+  Counter& counter(const std::string& name, SiteId site = kNoSite);
+  Gauge& gauge(const std::string& name, SiteId site = kNoSite);
+  Histogram& histogram(const std::string& name, SiteId site = kNoSite);
+
+  // Sum of a counter family across all sites (including the global scope).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  struct HistogramSummary {
+    std::string name;
+    SiteId site = kNoSite;
+    std::size_t count = 0;
+    Time min_us = 0;
+    Time p50_us = 0;
+    Time p90_us = 0;
+    Time p99_us = 0;
+    Time max_us = 0;
+    double mean_us = 0.0;
+  };
+
+  // Point-in-time copy of every metric, sorted by (name, site): safe to
+  // keep after the registry (and the simulation) are gone.
+  struct Snapshot {
+    std::vector<std::tuple<std::string, SiteId, std::uint64_t>> counters;
+    std::vector<std::tuple<std::string, SiteId, std::int64_t>> gauges;
+    std::vector<HistogramSummary> histograms;
+  };
+  Snapshot snapshot() const;
+
+  // Deterministic exports: iteration order is the sorted key order and all
+  // numbers are fixed-format, so identical runs serialize identically.
+  std::string to_json() const;
+  std::string to_table() const;
+
+  void clear();
+
+ private:
+  std::map<std::pair<std::string, SiteId>, Counter> counters_;
+  std::map<std::pair<std::string, SiteId>, Gauge> gauges_;
+  std::map<std::pair<std::string, SiteId>, Histogram> histograms_;
+};
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wankeeper::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kWanHop: return "wan_hop";
+    case SpanKind::kTokenWait: return "token_wait";
+    case SpanKind::kZabPropose: return "zab_propose";
+    case SpanKind::kApply: return "apply";
+  }
+  return "?";
+}
+
+TraceId Tracer::begin(std::string what, SiteId origin_site, Time now) {
+  if (!enabled_) return kNoTrace;
+  const TraceId id = next_++;
+  TraceRecord& rec = traces_[id];
+  rec.id = id;
+  rec.what = std::move(what);
+  rec.origin_site = origin_site;
+  rec.begin = now;
+  return id;
+}
+
+void Tracer::open(TraceId trace, SpanKind kind, SiteId site,
+                  const std::string& where, Time now, std::string detail) {
+  if (!enabled_ || trace == kNoTrace) return;
+  const auto it = traces_.find(trace);
+  if (it == traces_.end()) return;
+  Span span;
+  span.kind = kind;
+  span.site = site;
+  span.where = where;
+  span.detail = std::move(detail);
+  span.start = now;
+  it->second.spans.push_back(std::move(span));
+}
+
+void Tracer::close(TraceId trace, SpanKind kind, SiteId site, Time now) {
+  if (!enabled_ || trace == kNoTrace) return;
+  const auto it = traces_.find(trace);
+  if (it == traces_.end()) return;
+  // Latest open span of this (kind, site): work inside one site is
+  // sequential per trace, so this pairing is unambiguous.
+  auto& spans = it->second.spans;
+  for (auto rit = spans.rbegin(); rit != spans.rend(); ++rit) {
+    if (rit->kind == kind && rit->site == site && !rit->closed()) {
+      rit->end = now;
+      return;
+    }
+  }
+}
+
+void Tracer::point(TraceId trace, SpanKind kind, SiteId site,
+                   const std::string& where, Time now, std::string detail) {
+  if (!enabled_ || trace == kNoTrace) return;
+  open(trace, kind, site, where, now, std::move(detail));
+  close(trace, kind, site, now);
+}
+
+void Tracer::end(TraceId trace, Time now) {
+  if (!enabled_ || trace == kNoTrace) return;
+  const auto it = traces_.find(trace);
+  if (it == traces_.end()) return;
+  it->second.end = now;
+}
+
+const TraceRecord* Tracer::find(TraceId trace) const {
+  const auto it = traces_.find(trace);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+std::vector<SpanKind> Tracer::kinds_of(TraceId trace) const {
+  std::vector<SpanKind> out;
+  const TraceRecord* rec = find(trace);
+  if (rec == nullptr) return out;
+  out.reserve(rec->spans.size());
+  for (const auto& span : rec->spans) out.push_back(span.kind);
+  return out;
+}
+
+LatencyRecorder Tracer::span_latencies(SpanKind kind) const {
+  LatencyRecorder rec;
+  for (const auto& [id, trace] : traces_) {
+    for (const auto& span : trace.spans) {
+      if (span.kind == kind && span.closed()) rec.record(span.duration());
+    }
+  }
+  return rec;
+}
+
+std::vector<const TraceRecord*> Tracer::slowest(std::size_t n) const {
+  std::vector<const TraceRecord*> all;
+  for (const auto& [id, trace] : traces_) {
+    if (trace.completed()) all.push_back(&trace);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceRecord* a, const TraceRecord* b) {
+              if (a->duration() != b->duration()) {
+                return a->duration() > b->duration();
+              }
+              return a->id < b->id;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string Tracer::format_trace(TraceId trace) const {
+  const TraceRecord* rec = find(trace);
+  if (rec == nullptr) return "trace " + std::to_string(trace) + ": <unknown>\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "trace %llu %s (site %d) total=%s\n",
+                static_cast<unsigned long long>(rec->id), rec->what.c_str(),
+                rec->origin_site,
+                rec->completed() ? (std::to_string(rec->duration()) + "us").c_str()
+                                 : "open");
+  std::string out = line;
+  for (const auto& span : rec->spans) {
+    std::snprintf(line, sizeof(line),
+                  "  +%-10lld %-12s site=%-2d %-16s %s%s%s\n",
+                  static_cast<long long>(span.start - rec->begin),
+                  span_kind_name(span.kind), span.site, span.where.c_str(),
+                  span.closed() ? (std::to_string(span.duration()) + "us").c_str()
+                                : "open",
+                  span.detail.empty() ? "" : "  ", span.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string Tracer::breakdown_table() const {
+  std::string out =
+      "span kind     count      p50_us       p99_us       total_us\n"
+      "----------------------------------------------------------------\n";
+  char line[160];
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const auto kind = static_cast<SpanKind>(k);
+    const LatencyRecorder rec = span_latencies(kind);
+    if (rec.count() == 0) continue;
+    double total = 0;
+    for (const Time t : rec.samples()) total += static_cast<double>(t);
+    std::snprintf(line, sizeof(line), "%-12s %6zu %12lld %12lld %14.0f\n",
+                  span_kind_name(kind), rec.count(),
+                  static_cast<long long>(rec.percentile_us(0.5)),
+                  static_cast<long long>(rec.percentile_us(0.99)), total);
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  traces_.clear();
+  next_ = 1;
+}
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,114 @@
+// Cross-site request tracing for the token protocol.
+//
+// Every client operation gets a TraceId at issue time; the id rides inside
+// ClientRequest and the Zab Envelope wire format, so it survives forwards,
+// WAN hops, L2 serialization, and fan-out. Components along the way record
+// virtual-time-stamped spans against the trace:
+//
+//   enqueue      server request queue + CPU-slot wait at the session server
+//   wan_hop      one site-to-site transfer (L1->L2 forward, replicate
+//                up/down); the span's site is the *receiving* site
+//   token_wait   parked at L2 while the record's token is recalled home
+//   zab_propose  propose -> apply inside one site's Zab (site = that site)
+//   apply        the originating server applies the txn and replies (point)
+//
+// Span open/close pairs are keyed (trace, kind, site), which is unambiguous
+// because a trace's work inside one site is sequential while concurrent
+// activity (fan-out to several sites) differs in site. Closing a span that
+// was never opened is a harmless no-op (retransmits, bounced frames).
+//
+// Everything is deterministic: ids from a counter, timestamps from the
+// virtual clock, storage in ordered maps — same seed, same traces, byte for
+// byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace wankeeper::obs {
+
+using TraceId = std::uint64_t;
+constexpr TraceId kNoTrace = 0;
+
+enum class SpanKind : std::uint8_t {
+  kEnqueue = 0,
+  kWanHop,
+  kTokenWait,
+  kZabPropose,
+  kApply,
+};
+constexpr std::size_t kSpanKindCount = 5;
+const char* span_kind_name(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kEnqueue;
+  SiteId site = kNoSite;
+  std::string where;   // actor name that opened the span
+  std::string detail;  // optional, e.g. "site 1 -> site 0"
+  Time start = 0;
+  Time end = -1;  // -1 while open
+
+  bool closed() const { return end >= start; }
+  Time duration() const { return closed() ? end - start : 0; }
+};
+
+struct TraceRecord {
+  TraceId id = kNoTrace;
+  std::string what;  // e.g. "setData /ycsb/c0-17"
+  SiteId origin_site = kNoSite;
+  Time begin = 0;
+  Time end = -1;  // client-observed completion; -1 while in flight
+  std::vector<Span> spans;  // in open order (deterministic event order)
+
+  bool completed() const { return end >= begin; }
+  Time duration() const { return completed() ? end - begin : 0; }
+};
+
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // All calls are no-ops when disabled or when trace == kNoTrace.
+  TraceId begin(std::string what, SiteId origin_site, Time now);
+  void open(TraceId trace, SpanKind kind, SiteId site, const std::string& where,
+            Time now, std::string detail = "");
+  void close(TraceId trace, SpanKind kind, SiteId site, Time now);
+  void point(TraceId trace, SpanKind kind, SiteId site,
+             const std::string& where, Time now, std::string detail = "");
+  void end(TraceId trace, Time now);
+
+  // --- queries ---
+  const TraceRecord* find(TraceId trace) const;
+  const std::map<TraceId, TraceRecord>& traces() const { return traces_; }
+  std::size_t trace_count() const { return traces_.size(); }
+
+  // Span kinds of one trace in open order (assertion-friendly).
+  std::vector<SpanKind> kinds_of(TraceId trace) const;
+
+  // Durations (us) of every *closed* span of `kind` across all traces.
+  LatencyRecorder span_latencies(SpanKind kind) const;
+
+  // Completed traces, slowest first (ties broken by id for determinism).
+  std::vector<const TraceRecord*> slowest(std::size_t n) const;
+
+  // --- reports ---
+  // One line per span, indented timeline with durations relative to begin.
+  std::string format_trace(TraceId trace) const;
+  // p50/p99/total per span kind across all traces.
+  std::string breakdown_table() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = true;
+  TraceId next_ = 1;
+  std::map<TraceId, TraceRecord> traces_;
+};
+
+}  // namespace wankeeper::obs

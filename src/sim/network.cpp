@@ -111,7 +111,11 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   Actor& dst = actor(to);
   const SiteId sfrom = site_of(from);
   const SiteId sto = site_of(to);
-  if (sfrom != sto) ++stats_.wan_messages;
+  if (sfrom != sto) {
+    ++stats_.wan_messages;
+    sim_.obs().metrics.counter("net.wan_msgs", sfrom).inc();
+    sim_.obs().metrics.counter("net.wan_bytes", sfrom).inc(msg->wire_size());
+  }
 
   if (!src.up() || !dst.up() || partitioned(sfrom, sto) ||
       (drop_rate_ > 0.0 && sim_.rng().chance(drop_rate_))) {

@@ -12,6 +12,7 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "obs/context.h"
 
 namespace wankeeper::sim {
 
@@ -23,6 +24,8 @@ class Simulator {
 
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
+  // Flight recorder (metrics + traces) for everything running on this sim.
+  obs::Context& obs() { return obs_; }
 
   // Schedule `fn` at absolute virtual time `when` (>= now). Events at equal
   // times run in scheduling order. Returns an id usable with cancel().
@@ -62,6 +65,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
+  obs::Context obs_;
 };
 
 }  // namespace wankeeper::sim

@@ -55,6 +55,7 @@ void Broker::on_crash() {
   wan_live_sessions_.clear();
   site_down_frontier_.clear();
   leader_hint_.clear();
+  recall_sent_.clear();
   registered_ = false;
   l2_last_heard_ = 0;
 }
@@ -78,6 +79,7 @@ void Broker::lost_leadership() {
   l2_pending_grants_.clear();
   up_proposed_.clear();
   down_proposed_.clear();
+  recall_sent_.clear();
   registered_ = false;
 }
 
@@ -211,6 +213,7 @@ void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
   if (tokens_held_locally(keys) && leases_valid()) {
     ++bstats_.local_token_commits;
     if (auditor_ != nullptr) auditor_->count_local_commit();
+    sim().obs().metrics.counter("token.local_commits", site()).inc();
     prep_and_propose(req, origin_server);
     return;
   }
@@ -219,6 +222,11 @@ void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
 
 void Broker::forward_to_l2(const zk::ClientRequest& req, NodeId origin_server) {
   ++bstats_.wan_forwards;
+  sim().obs().metrics.counter("broker.wan_forwards", site()).inc();
+  sim().obs().tracer.open(req.trace, obs::SpanKind::kWanHop, l2_site_, name(),
+                          now(),
+                          "site " + std::to_string(site()) + " -> site " +
+                              std::to_string(l2_site_) + " (forward)");
   auto m = std::make_shared<WanForwardMsg>();
   m->request = req;
   m->origin_server = origin_server;
@@ -239,6 +247,9 @@ void Broker::propose_token_return(const std::vector<TokenKey>& keys) {
 }
 
 void Broker::handle_replicate_down(const ReplicateDownMsg& m) {
+  // No-op on retransmits: the span is already closed.
+  sim().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
+                           now());
   const std::uint64_t g = m.envelope.txn.gseq;
   if (g <= applied_down_gseq_ || down_proposed_.count(g) != 0) return;
   down_proposed_.insert(g);
@@ -325,6 +336,10 @@ void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
     ++bstats_.replicate_up;
     zk::Envelope up = env;
     up.txn.origin_zxid = txn.zxid;
+    sim().obs().tracer.open(up.trace, obs::SpanKind::kWanHop, l2_site_, name(),
+                            now(),
+                            "site " + std::to_string(site()) + " -> site " +
+                                std::to_string(l2_site_) + " (up)");
     auto m = std::make_shared<ReplicateUpMsg>();
     m->envelope = std::move(up);
     transport_.send(l2_site_, std::move(m));
@@ -347,6 +362,7 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     if (grantee == site()) {
       site_tokens_.apply_granted(txn.paths);
       if (auditor_ != nullptr) auditor_->count_grant();
+      sim().obs().metrics.counter("token.grants", site()).inc();
       // Recalls that raced ahead of this grant start their return now.
       const auto ret = site_tokens_.take_pending_recalls(txn.paths);
       if (is_leader() && !ret.empty()) propose_token_return(ret);
@@ -376,8 +392,16 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     if (returner == site()) {
       site_tokens_.apply_returned(txn.paths);
       if (auditor_ != nullptr) auditor_->count_return();
+      sim().obs().metrics.counter("token.returns", site()).inc();
     }
     if (l2_role()) {
+      for (const auto& key : txn.paths) {
+        if (const auto it = recall_sent_.find(key); it != recall_sent_.end()) {
+          sim().obs().metrics.histogram("token.recall_latency_us")
+              .record(now() - it->second);
+          recall_sent_.erase(it);
+        }
+      }
       std::vector<PendingRemote> ready;
       for (const auto& key : txn.paths) {
         auto r = broker_tokens_.unpark(key);
@@ -421,7 +445,8 @@ void Broker::audit_applied(const zk::Envelope& env) {
                                          std::to_string(broker_tokens_.owner(key)));
         }
       }
-      if (auditor_ != nullptr) auditor_->count_remote_commit();
+      auditor_->count_remote_commit();
+      sim().obs().metrics.counter("token.remote_commits", site()).inc();
     } else {
       for (const auto& key : keys) {
         if (broker_tokens_.owner(key) != txn.origin_site) {

@@ -189,6 +189,7 @@ class Broker : public zk::Server {
   std::map<SiteId, std::vector<SessionId>> wan_live_sessions_;
   std::map<SiteId, std::uint64_t> site_down_frontier_;
   std::map<SiteId, std::size_t> leader_hint_;
+  std::map<TokenKey, Time> recall_sent_;  // L2: recall RTT measurement
   Time l2_last_heard_ = 0;
   bool registered_ = false;
   BrokerStats bstats_;

@@ -23,12 +23,16 @@ std::uint64_t Broker::next_gseq() {
 
 void Broker::handle_wan_forward(SiteId from_site, const WanForwardMsg& m) {
   if (!l2_role()) return;  // stale routing; the site will re-register
+  sim().obs().tracer.close(m.request.trace, obs::SpanKind::kWanHop, site(),
+                           now());
   l2_serve(m.request, from_site, m.origin_server);
 }
 
 void Broker::handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m) {
   if (!l2_role()) return;
   (void)from_site;
+  sim().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
+                           now());
   const store::Txn& txn = m.envelope.txn;
   const Zxid applied = [&] {
     const auto it = up_frontier_.find(txn.origin_site);
@@ -101,6 +105,8 @@ void Broker::l2_propose_remote(const zk::Envelope& env) {
 
 void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
                       NodeId origin_server) {
+  // Re-served after a park: close the wait span (no-op on first arrival).
+  sim().obs().tracer.close(req.trace, obs::SpanKind::kTokenWait, site(), now());
   const auto keys = tokens_for_request(req);
 
   // Fail fast on requests that are invalid against our (causally current)
@@ -136,6 +142,11 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
 
   if (!missing.empty()) {
     ++bstats_.parked;
+    sim().obs().metrics.counter("broker.parked", site()).inc();
+    sim().obs().tracer.open(req.trace, obs::SpanKind::kTokenWait, site(),
+                            name(), now(),
+                            "waiting for " + std::to_string(missing.size()) +
+                                " token(s)");
     PendingRemote pending;
     pending.from_site = from_site;
     pending.origin_server = origin_server;
@@ -176,9 +187,11 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
     return;
   }
   ++bstats_.l2_served;
+  sim().obs().metrics.counter("broker.l2_served", site()).inc();
   zk::Envelope env;
   env.session = req.session;
   env.xid = req.xid;
+  env.trace = req.trace;
   env.txn = std::move(prep.txn);
   env.txn.origin_site = from_site;  // requester; decorate_txn stamps gseq
   propose_envelope(std::move(env), std::move(prep.overlay));
@@ -202,6 +215,8 @@ void Broker::l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee)
 void Broker::l2_send_recall(const TokenKey& key, SiteId owner) {
   ++bstats_.recalls;
   if (auditor_ != nullptr) auditor_->count_recall();
+  sim().obs().metrics.counter("token.recalls", site()).inc();
+  recall_sent_.try_emplace(key, now());
   broker_tokens_.mark_recalling(key, true);
   auto m = std::make_shared<TokenRecallMsg>();
   m->keys = {key};
@@ -227,6 +242,14 @@ void Broker::l2_fan_out(const zk::Envelope& env) {
     if (transport_.unacked(dest) > wan_.max_site_backlog) {
       ++bstats_.fanout_skipped;
       continue;
+    }
+    // Trace only the hop back to the request's origin site (where the
+    // client is waiting); the other fan-out legs are not on its path.
+    if (dest == txn.origin_site) {
+      sim().obs().tracer.open(env.trace, obs::SpanKind::kWanHop, dest, name(),
+                              now(),
+                              "site " + std::to_string(site()) + " -> site " +
+                                  std::to_string(dest) + " (down)");
     }
     auto m = std::make_shared<ReplicateDownMsg>();
     m->envelope = env;

@@ -41,18 +41,23 @@ void Driver::issue(const OpStream::Op& op) {
 
 void Driver::on_result(const OpStream::Op& op, Time issued_at,
                        const zk::ClientResult& result) {
+  auto& reg = client_.sim().obs().metrics;
   if (result.rc == store::Rc::kUnavailable) {
     ++metrics_.retries;
+    reg.counter("ycsb.retries").inc();
     issue(op);  // transient: leadership change or lost forward
     return;
   }
   const Time latency = client_.sim().now() - issued_at;
   if (op.is_write) {
     metrics_.write_latency.record(latency);
+    reg.histogram("ycsb.write_latency_us").record(latency);
   } else {
     metrics_.read_latency.record(latency);
+    reg.histogram("ycsb.read_latency_us").record(latency);
   }
   ++metrics_.ops;
+  reg.counter("ycsb.ops").inc();
   // Windowed series are relative to this client's measurement start.
   metrics_.series.record(client_.sim().now() - metrics_.started);
   issue_next();

@@ -20,8 +20,10 @@ struct ClientMetrics {
   Time finished = 0;
 
   double throughput() const {
+    // Guard: a run that never finished (crash mid-measurement, zero ops)
+    // leaves finished at 0 < started, and the naive span would go negative.
+    if (finished <= started) return 0.0;
     const Time span = finished - started;
-    if (span <= 0) return 0.0;
     return static_cast<double>(ops) * static_cast<double>(kSecond) /
            static_cast<double>(span);
   }

@@ -142,6 +142,10 @@ RunResult run_experiment(const RunConfig& config) {
     sim.run_for(config.settle);
   }
 
+  // Reset the flight recorder so the exports cover only the measurement
+  // phase (the load phase would otherwise dominate every histogram).
+  sim.obs().clear();
+
   // --- measurement phase ---
   std::vector<std::unique_ptr<zk::Client>> clients;
   std::vector<std::unique_ptr<Driver>> drivers;
@@ -170,6 +174,26 @@ RunResult run_experiment(const RunConfig& config) {
     result.wk_grants = counters.grants;
     result.wk_recalls = counters.recalls;
     result.token_audit_clean = bed.audit_clean();
+  }
+
+  // --- flight-recorder exports (the testbed dies with this scope) ---
+  const auto& obs = sim.obs();
+  result.metrics_json = obs.metrics.to_json();
+  for (std::size_t k = 0; k < obs::kSpanKindCount; ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    const auto rec = obs.tracer.span_latencies(kind);
+    RunResult::SpanStat st;
+    st.kind = obs::span_kind_name(kind);
+    st.count = rec.count();
+    if (st.count > 0) {
+      st.p50_us = rec.percentile_us(0.50);
+      st.p99_us = rec.percentile_us(0.99);
+      for (const Time s : rec.samples()) st.total_us += s;
+    }
+    result.phase_breakdown.push_back(std::move(st));
+  }
+  for (const auto* t : obs.tracer.slowest(config.trace_report_n)) {
+    result.slow_traces.push_back(obs.tracer.format_trace(t->id));
   }
   return result;
 }

@@ -34,6 +34,9 @@ struct RunConfig {
   std::uint64_t seed = 1;
   Time settle = 1 * kSecond;
   Time max_sim_time = 4 * 3600 * kSecond;  // runaway guard
+  // Flight recorder: how many of the slowest traces to carry back in the
+  // result (0 disables the report; tracing itself is always on and cheap).
+  std::size_t trace_report_n = 5;
 };
 
 struct RunResult {
@@ -41,6 +44,20 @@ struct RunResult {
   double total_throughput = 0.0;
   LatencyRecorder reads;
   LatencyRecorder writes;
+
+  // Flight-recorder exports, captured over the measurement phase only (the
+  // registry and tracer are reset after load/settle). All three are
+  // deterministic for a fixed config+seed.
+  struct SpanStat {
+    std::string kind;        // enqueue, wan_hop, token_wait, zab_propose, apply
+    std::size_t count = 0;
+    Time p50_us = 0;
+    Time p99_us = 0;
+    Time total_us = 0;       // summed span time (where requests spend latency)
+  };
+  std::vector<SpanStat> phase_breakdown;  // one entry per span kind, in order
+  std::string metrics_json;               // MetricsRegistry::to_json()
+  std::vector<std::string> slow_traces;   // formatted N slowest traces
 
   // WanKeeper-only accounting.
   std::uint64_t wk_local_commits = 0;

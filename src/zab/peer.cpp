@@ -81,6 +81,7 @@ void Peer::reset_volatile_role_state() {
   synced_followers_.clear();
   synced_observers_.clear();
   proposal_acks_.clear();
+  proposed_at_.clear();
   last_contact_.clear();
 }
 
@@ -448,6 +449,8 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
   LogEntry entry{zxid, std::move(payload)};
   log_.append(entry);
   proposal_acks_[zxid].insert(id());
+  sim().obs().metrics.counter("zab.proposals", net_->site_of(id())).inc();
+  proposed_at_[zxid] = now();
   for (NodeId f : synced_followers_) {
     auto m = std::make_shared<ProposeMsg>();
     m->epoch = current_epoch_;
@@ -665,6 +668,12 @@ void Peer::deliver_committed() {
     const LogEntry& entry = log_.at(i);
     if (entry.zxid > commit_frontier_) break;
     delivered_ = entry.zxid;
+    if (const auto it = proposed_at_.find(entry.zxid); it != proposed_at_.end()) {
+      sim().obs().metrics
+          .histogram("zab.commit_latency_us", net_->site_of(id()))
+          .record(now() - it->second);
+      proposed_at_.erase(it);
+    }
     sm_.on_commit(entry);
   }
 }

@@ -195,6 +195,7 @@ class Peer : public sim::Actor {
   std::set<NodeId> synced_observers_;
   std::uint32_t counter_ = 0;
   std::map<Zxid, std::set<NodeId>> proposal_acks_;
+  std::map<Zxid, Time> proposed_at_;  // leader: propose->deliver latency
   Zxid commit_frontier_ = kNoZxid;
   std::map<NodeId, Time> last_contact_;
 

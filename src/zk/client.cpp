@@ -39,6 +39,13 @@ void Client::ping_tick() {
 void Client::send_request(ClientRequest req, Callback cb) {
   req.session = session_;
   req.xid = next_xid_++;
+  auto& tracer = sim().obs().tracer;
+  if (tracer.enabled() && net_ != nullptr) {
+    std::string what = op_name(req.op.op);
+    if (!req.op.path.empty()) what += " " + req.op.path;
+    req.trace = tracer.begin(std::move(what), net_->site_of(id()), now());
+    pending_trace_[req.xid] = req.trace;
+  }
   if (cb) pending_[req.xid] = std::move(cb);
   net_->send(id(), server_, sim::make_message<ClientRequest>(std::move(req)));
 }
@@ -131,6 +138,10 @@ void Client::close(Callback cb) {
 void Client::on_message(NodeId from, const sim::MessagePtr& msg) {
   (void)from;
   if (const auto* m = dynamic_cast<const ClientReply*>(msg.get())) {
+    if (const auto tit = pending_trace_.find(m->xid); tit != pending_trace_.end()) {
+      sim().obs().tracer.end(tit->second, now());
+      pending_trace_.erase(tit);
+    }
     const auto it = pending_.find(m->xid);
     if (it == pending_.end()) return;
     Callback cb = std::move(it->second);

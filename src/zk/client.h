@@ -83,6 +83,7 @@ class Client : public sim::Actor {
   Xid next_xid_ = 1;
   Time ping_interval_ = 1500 * kMillisecond;
   std::map<Xid, Callback> pending_;
+  std::map<Xid, obs::TraceId> pending_trace_;
   WatchHandler watch_handler_;
   std::uint64_t ops_completed_ = 0;
   bool connected_ = false;

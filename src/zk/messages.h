@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/message.h"
 #include "store/datatree.h"
 #include "store/watch.h"
@@ -61,6 +62,7 @@ struct ClientRequest : sim::Message {
   bool watch = false;          // register watch on read ops
   std::vector<Op> multi_ops;   // when op.op == kMulti
   Time session_timeout = 0;    // kCreateSession
+  obs::TraceId trace = obs::kNoTrace;  // flight-recorder id, assigned at issue
 
   std::size_t wire_size() const override {
     return 64 + op.path.size() + op.data.size();

@@ -28,6 +28,7 @@ std::vector<std::uint8_t> Envelope::encode() const {
   BufferWriter w;
   w.i64(session);
   w.i64(xid);
+  w.u64(trace);
   txn.serialize(w);
   return w.take();
 }
@@ -37,6 +38,7 @@ Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
   Envelope e;
   e.session = r.i64();
   e.xid = r.i64();
+  e.trace = r.u64();
   e.txn = store::Txn::deserialize(r);
   return e;
 }
@@ -169,6 +171,8 @@ void Server::handle_client_request(NodeId from, const ClientRequest& req) {
   }
   ls->client = from;
   ls->queue.push_back(req);
+  sim().obs().tracer.open(req.trace, obs::SpanKind::kEnqueue, site(), name(),
+                          now());
   pump_session(req.session);
 }
 
@@ -206,6 +210,7 @@ void Server::watch_in_flight_timeout(SessionId session, Xid xid) {
 void Server::execute_request(SessionId session, const ClientRequest& req) {
   auto* ls = local_sessions_.find(session);
   if (ls == nullptr) return;
+  sim().obs().tracer.close(req.trace, obs::SpanKind::kEnqueue, site(), now());
   if (ls->in_flight_is_write) {
     ++stats_.writes_routed;
     route_write(req, id());
@@ -315,6 +320,7 @@ void Server::prep_and_propose(const ClientRequest& req, NodeId origin_server) {
   Envelope env;
   env.session = req.session;
   env.xid = req.xid;
+  env.trace = req.trace;
   env.txn = std::move(prep.txn);
   const Zxid zxid = propose_envelope(env, std::move(prep.overlay));
   if (zxid == kNoZxid) {
@@ -327,6 +333,9 @@ Zxid Server::propose_envelope(Envelope env, Overlay overlay) {
   decorate_txn(env.txn);
   const Zxid zxid = peer_->propose(env.encode());
   if (zxid == kNoZxid) return kNoZxid;
+  // Closed when this replica applies the commit (zab quorum + delivery).
+  sim().obs().tracer.open(env.trace, obs::SpanKind::kZabPropose, site(), name(),
+                          now());
   for (auto& [path, rec] : overlay) {
     rec.zxid = zxid;
     outstanding_[path] = rec;
@@ -531,6 +540,8 @@ void Server::on_commit(const zab::LogEntry& entry) {
 void Server::apply_committed(const Envelope& env) {
   ++stats_.txns_applied;
   const store::Txn& txn = env.txn;
+  // Pairs with the proposing leader's open; a no-op on the other replicas.
+  sim().obs().tracer.close(env.trace, obs::SpanKind::kZabPropose, site(), now());
 
   std::vector<std::string> closed_ephemerals;
   if (txn.type == store::TxnType::kCloseSession) {
@@ -569,6 +580,8 @@ void Server::apply_committed(const Envelope& env) {
   // Reply if this server owns the originating request.
   auto* ls = local_sessions_.find(env.session);
   if (ls != nullptr && ls->in_flight && ls->in_flight_xid == env.xid) {
+    sim().obs().tracer.point(env.trace, obs::SpanKind::kApply, site(), name(),
+                             now());
     ClientReply reply;
     reply.session = env.session;
     reply.xid = env.xid;

@@ -36,6 +36,7 @@ namespace wankeeper::zk {
 struct Envelope {
   SessionId session = kNoSession;
   Xid xid = 0;
+  obs::TraceId trace = obs::kNoTrace;  // rides the wire so traces cross sites
   store::Txn txn;
 
   std::vector<std::uint8_t> encode() const;
