@@ -19,9 +19,12 @@ using namespace wankeeper::ycsb;
 
 namespace {
 
+bool g_batching = false;  // --batching: group commit + WAN coalescing on
+
 RunResult run_one(SystemKind sys, double write_fraction, std::uint64_t ops) {
   RunConfig cfg;
   cfg.system = sys;
+  cfg.batching = g_batching;
   ClientSpec client;
   client.site = kCalifornia;
   client.shared_fraction = 0.0;
@@ -61,11 +64,13 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") ops = 2000;
+    if (std::string(argv[i]) == "--batching") g_batching = true;
     if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
     }
   }
   std::printf("=== Fig 5: write latency CDF, 1 client (California) ===\n");
+  if (g_batching) std::printf("(batching: group commit + WAN coalescing ON)\n");
 
   for (double wf : {0.5, 1.0}) {
     std::printf("\n### %.0f%% write workload ###\n", wf * 100);

@@ -34,13 +34,179 @@ RunResult run_overlap(SystemKind sys, double overlap, std::uint64_t ops) {
   return run_experiment(cfg);
 }
 
+// --- batching A/B mode (--batching): WanKeeper only, group commit + WAN
+// frame coalescing off vs on, identical workload/seed/WAN model. The WAN
+// model charges per-frame channel occupancy (a serialization cost batching
+// amortizes); it is the same in both modes, so the comparison is honest.
+
+constexpr Time kWanFrameOverhead = 2 * kMillisecond;
+
+RunResult run_batching_case(double overlap, std::size_t clients_per_site,
+                            std::uint64_t ops_per_client, bool batching) {
+  RunConfig cfg;
+  cfg.system = SystemKind::kWanKeeper;
+  cfg.batching = batching;
+  cfg.wan_frame_overhead = kWanFrameOverhead;
+  for (SiteId site : {kCalifornia, kFrankfurt}) {
+    for (std::size_t c = 0; c < clients_per_site; ++c) {
+      ClientSpec client;
+      client.site = site;
+      client.shared_fraction = overlap;
+      client.workload.record_count = 200;
+      client.workload.op_count = ops_per_client;
+      client.workload.write_fraction = 1.0;
+      client.workload.seed =
+          42 + static_cast<std::uint64_t>(site) * 100 + c;
+      client.tag = "s" + std::to_string(site) + "c" + std::to_string(c);
+      cfg.clients.push_back(client);
+    }
+  }
+  return run_experiment(cfg);
+}
+
+void json_case(std::FILE* f, const char* name, double overlap,
+               std::size_t clients, const RunResult& off, const RunResult& on,
+               bool last) {
+  auto one = [f](const char* mode, const RunResult& r, bool inner_last) {
+    std::fprintf(f,
+                 "    \"%s\": {\"throughput_ops_s\": %.1f, "
+                 "\"write_p50_ms\": %.3f, \"write_p99_ms\": %.3f, "
+                 "\"frames_sent\": %llu, \"frame_msgs\": %llu}%s\n",
+                 mode, r.total_throughput,
+                 static_cast<double>(r.writes.percentile_us(0.5)) / 1000.0,
+                 static_cast<double>(r.writes.percentile_us(0.99)) / 1000.0,
+                 static_cast<unsigned long long>(r.wk_frames_sent),
+                 static_cast<unsigned long long>(r.wk_frame_msgs),
+                 inner_last ? "" : ",");
+  };
+  std::fprintf(f, "  \"%s\": {\n", name);
+  std::fprintf(f, "    \"overlap\": %.2f, \"clients\": %zu,\n", overlap,
+               clients);
+  one("off", off, false);
+  one("on", on, true);
+  std::fprintf(f, "  }%s\n", last ? "" : ",");
+}
+
+int run_batching_mode(bool quick, const std::string& out_path) {
+  std::printf("=== Batching A/B: group commit + WAN coalescing ===\n");
+  std::printf("WAN channel occupancy: %lld us per frame (both modes)\n\n",
+              static_cast<long long>(kWanFrameOverhead));
+
+  // Contended: every record shared, many closed-loop writers per site, so
+  // the unbatched run saturates the per-frame WAN channel.
+  const std::size_t kContendedClients = 16;  // per site
+  const std::uint64_t contended_ops = quick ? 100 : 300;
+  // Local: the original fig7 shape at overlap 0 — two lone writers whose
+  // tokens settle at their sites. Group commit must not delay their
+  // (unbatchable) lone requests.
+  const std::uint64_t local_ops = quick ? 500 : 2000;
+
+  TablePrinter table({"case", "batching", "total ops/s", "wr p50 ms",
+                      "wr p99 ms", "frames", "msgs/frame"});
+  auto show = [&table](const char* name, const char* mode, const RunResult& r) {
+    const double per_frame =
+        r.wk_frames_sent == 0
+            ? 0.0
+            : static_cast<double>(r.wk_frame_msgs) /
+                  static_cast<double>(r.wk_frames_sent);
+    table.row({name, mode, TablePrinter::num(r.total_throughput, 1),
+               TablePrinter::num(
+                   static_cast<double>(r.writes.percentile_us(0.5)) / 1000.0, 2),
+               TablePrinter::num(
+                   static_cast<double>(r.writes.percentile_us(0.99)) / 1000.0, 2),
+               std::to_string(r.wk_frames_sent),
+               TablePrinter::num(per_frame, 1)});
+  };
+
+  const RunResult cont_off =
+      run_batching_case(1.0, kContendedClients, contended_ops, false);
+  show("contended", "off", cont_off);
+  const RunResult cont_on =
+      run_batching_case(1.0, kContendedClients, contended_ops, true);
+  show("contended", "on", cont_on);
+  const RunResult local_off = run_batching_case(0.0, 1, local_ops, false);
+  show("local", "off", local_off);
+  const RunResult local_on = run_batching_case(0.0, 1, local_ops, true);
+  show("local", "on", local_on);
+
+  for (const RunResult* r : {&cont_off, &cont_on, &local_off, &local_on}) {
+    if (!r->token_audit_clean) {
+      std::printf("!! token audit violations\n");
+      return 1;
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("!! cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"wan_frame_overhead_us\": %lld,\n",
+                 static_cast<long long>(kWanFrameOverhead));
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    json_case(f, "contended", 1.0, kContendedClients * 2, cont_off, cont_on,
+              false);
+    json_case(f, "local", 0.0, 2, local_off, local_on, true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  // Regression gates (the issue's acceptance bars). Fail loudly so CI can
+  // run this binary as a smoke check.
+  int rc = 0;
+  const double frame_drop =
+      cont_off.wk_frames_sent == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(cont_on.wk_frames_sent) /
+                      static_cast<double>(cont_off.wk_frames_sent);
+  std::printf("\ncontended frames: %llu -> %llu (%.0f%% drop; need >=30%%)\n",
+              static_cast<unsigned long long>(cont_off.wk_frames_sent),
+              static_cast<unsigned long long>(cont_on.wk_frames_sent),
+              frame_drop * 100);
+  if (frame_drop < 0.30) {
+    std::printf("!! FAIL: coalescing removed <30%% of frames\n");
+    rc = 1;
+  }
+  std::printf("contended throughput: %.1f -> %.1f ops/s (need improvement)\n",
+              cont_off.total_throughput, cont_on.total_throughput);
+  if (cont_on.total_throughput <= cont_off.total_throughput) {
+    std::printf("!! FAIL: batching did not improve contended throughput\n");
+    rc = 1;
+  }
+  const double p50_off =
+      static_cast<double>(local_off.writes.percentile_us(0.5));
+  const double p50_on = static_cast<double>(local_on.writes.percentile_us(0.5));
+  std::printf("local write p50: %.2f -> %.2f ms (need <= +10%%)\n",
+              p50_off / 1000.0, p50_on / 1000.0);
+  if (p50_on > 1.10 * p50_off) {
+    std::printf("!! FAIL: batching regressed local write p50 by >10%%\n");
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t ops = 10000;
+  bool quick = false;
+  bool batching = false;
+  std::string batching_out = "BENCH_batching.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") ops = 2000;
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      ops = 2000;
+    } else if (arg == "--batching") {
+      batching = true;
+    } else if (arg == "--batching-out" && i + 1 < argc) {
+      batching_out = argv[++i];
+    }
   }
+  if (batching) return run_batching_mode(quick, batching_out);
 
   std::printf("=== Fig 7: throughput vs access overlap, 100%% writes ===\n");
   TablePrinter table({"overlap%", "system", "total ops/s", "write avg ms",

@@ -8,6 +8,7 @@
 #include "store/datatree.h"
 #include "wankeeper/predictor.h"
 #include "wankeeper/token_manager.h"
+#include "wankeeper/wan_transport.h"
 #include "zk/server.h"
 
 namespace wankeeper {
@@ -113,6 +114,40 @@ void BM_BrokerTokenAccess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BrokerTokenAccess);
+
+// WAN transport frame coalescing: cost of pushing `batch` messages through
+// send() + flush into one frame, delivering it, and handling the ack.
+// Arg(1) is the uncoalesced baseline (one frame per message).
+void BM_WanTransportCoalesce(benchmark::State& state) {
+  struct Probe : sim::Message {
+    const char* name() const override { return "probe"; }
+    std::size_t wire_size() const override { return 128; }
+  };
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  wk::WanBatchOptions opts;
+  opts.max_msgs = batch;
+  opts.max_bytes = 1 << 20;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::MessagePtr wire, ack;
+    wk::WanTransport b(
+        1, [&ack](SiteId, sim::MessagePtr m) { ack = std::move(m); },
+        [](SiteId, const sim::MessagePtr&) {}, opts);
+    wk::WanTransport a(
+        0, [&wire](SiteId, sim::MessagePtr m) { wire = std::move(m); },
+        [](SiteId, const sim::MessagePtr&) {}, opts);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < batch; ++i) {
+      a.send(1, std::make_shared<Probe>());
+    }
+    b.on_message(0, wire);  // deliver the frame; b emits a cumulative ack
+    a.on_message(1, ack);   // retire the frame
+    benchmark::DoNotOptimize(a.unacked(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_WanTransportCoalesce)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_PredictorObserve(benchmark::State& state) {
   wk::MarkovPredictor predictor(1024);

@@ -125,9 +125,19 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
 
   const Time latency = latency_.sample(sim_.rng(), sfrom, sto);
   Time deliver_at = sim_.now() + latency;
-  // FIFO per ordered channel: never deliver before an earlier send.
+  // FIFO per ordered channel: never deliver before an earlier send. WAN
+  // messages additionally hold the channel for their occupancy, so a burst
+  // of frames serializes onto the link instead of arriving together.
   auto& clock = channel_clock_[{from, to}];
-  deliver_at = std::max(deliver_at, clock);
+  Time occupancy = 0;
+  if (sfrom != sto) {
+    occupancy = wan_cost_.per_message;
+    if (wan_cost_.bytes_per_us > 0.0) {
+      occupancy += static_cast<Time>(static_cast<double>(msg->wire_size()) /
+                                     wan_cost_.bytes_per_us);
+    }
+  }
+  deliver_at = std::max(deliver_at, clock + occupancy);
   clock = deliver_at;
 
   const std::uint64_t dst_incarnation = dst.incarnation_;

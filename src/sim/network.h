@@ -51,6 +51,17 @@ struct NetworkStats {
   std::uint64_t wan_messages = 0;  // crossing a site boundary
 };
 
+// Optional channel-occupancy model for inter-site links. Each WAN message
+// holds its ordered (src, dst) channel for per_message plus its serialized
+// bytes over the link bandwidth, so bursts of small frames queue behind one
+// another — the per-message overhead the coalescing layer amortizes.
+// Defaults model an infinitely fast pipe (latency only), the pre-existing
+// behavior.
+struct WanCostModel {
+  Time per_message = 0;      // fixed per-message channel hold
+  double bytes_per_us = 0.0; // link bandwidth; <= 0 means unmodeled
+};
+
 class Network {
  public:
   Network(Simulator& sim, LatencyModel latency);
@@ -76,6 +87,8 @@ class Network {
   // Isolate one site from every other site.
   void isolate_site(SiteId s, bool cut);
   void set_drop_rate(double p) { drop_rate_ = p; }
+  void set_wan_cost(WanCostModel cost) { wan_cost_ = cost; }
+  const WanCostModel& wan_cost() const { return wan_cost_; }
 
   const NetworkStats& stats() const { return stats_; }
   const LatencyModel& latency() const { return latency_; }
@@ -90,6 +103,7 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, Time> channel_clock_;
   std::set<std::pair<SiteId, SiteId>> cuts_;
   double drop_rate_ = 0.0;
+  WanCostModel wan_cost_;
   NetworkStats stats_;
 };
 

@@ -17,25 +17,34 @@ Broker::Broker(sim::Simulator& sim, std::string name, zk::ServerOptions server_o
       wan_(wan_opts),
       directory_(std::move(directory)),
       auditor_(auditor),
-      transport_(
-          kNoSite,  // my_site unknown until registration; fixed in start()
-          [this](SiteId dest, sim::MessagePtr frame) {
-            raw_send_to_site(dest, std::move(frame));
-          },
-          [this](SiteId from, const sim::MessagePtr& inner) {
-            wan_deliver(from, inner);
-          }),
+      // my_site unknown until registration; fixed in start()
+      transport_(make_transport(kNoSite)),
       l2_site_(wan_opts.l2_site) {}
+
+WanTransport Broker::make_transport(SiteId site_id) {
+  WanTransport t(
+      site_id,
+      [this](SiteId dest, sim::MessagePtr frame) {
+        raw_send_to_site(dest, std::move(frame));
+      },
+      [this](SiteId from, const sim::MessagePtr& inner) { wan_deliver(from, inner); },
+      wan_.batch,
+      [this](Time delay) {
+        set_timer(delay, [this]() { transport_.flush_all(); });
+      });
+  t.set_frame_observer([this](std::size_t msgs) {
+    auto& metrics = sim().obs().metrics;
+    metrics.counter("wan.frames_sent", site()).inc();
+    metrics.counter("wan.frame_msgs", site()).inc(msgs);
+    metrics.histogram("wan.frame_batch", site()).record(static_cast<Time>(msgs));
+  });
+  return t;
+}
 
 void Broker::start() {
   Server::start();
   // Rebind the transport's site id now that set_site() has run.
-  transport_ = WanTransport(
-      site(),
-      [this](SiteId dest, sim::MessagePtr frame) {
-        raw_send_to_site(dest, std::move(frame));
-      },
-      [this](SiteId from, const sim::MessagePtr& inner) { wan_deliver(from, inner); });
+  transport_ = make_transport(site());
   set_timer(wan_.retransmit_interval, [this]() { wan_tick(); });
   set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
 }
@@ -370,18 +379,18 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     if (l2_role()) {
       // Requests parked on these keys need the token back from its new
       // owner; recall immediately (the grant decision raced the request).
+      std::vector<TokenKey> wanted_keys;
       for (const auto& key : txn.paths) {
         if (broker_tokens_.recall_in_progress(key)) continue;
-        bool wanted = false;
         // A parked request references the key in its missing set.
         for (const auto& p : broker_tokens_.parked()) {
           if (p.missing.count(key) != 0) {
-            wanted = true;
+            wanted_keys.push_back(key);
             break;
           }
         }
-        if (wanted) l2_send_recall(key, grantee);
       }
+      l2_send_recall(wanted_keys, grantee);
     }
   } else {  // kTokenReturned
     const SiteId returner = txn.origin_site;

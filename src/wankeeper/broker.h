@@ -59,10 +59,14 @@ struct WanOptions {
   Time lease_valid = 8 * kSecond;
   Time token_lease = 60 * kSecond;
   bool enable_l2_failover = true;
-  // Per-site fan-out backlog cap: beyond this many unacked frames the L2
+  // Per-site fan-out backlog cap: beyond this many unacked messages the L2
   // stops queueing fan-outs for the site (it is unreachable) and relies on
   // the gseq-frontier resync when it reconnects.
   std::size_t max_site_backlog = 512;
+  // WAN frame coalescing (default off: one message per frame). With
+  // batch.max_msgs > 1, grants/recalls, replicate-downs, and forwards
+  // headed to the same site share frames.
+  WanBatchOptions batch;
 };
 
 struct BrokerStats {
@@ -121,6 +125,7 @@ class Broker : public zk::Server {
   friend class Deployment;
 
   // ---- WAN plumbing ----
+  WanTransport make_transport(SiteId site_id);
   void raw_send_to_site(SiteId dest, sim::MessagePtr frame);
   void wan_deliver(SiteId from_site, const sim::MessagePtr& inner);
   void wan_tick();
@@ -145,7 +150,7 @@ class Broker : public zk::Server {
                 NodeId origin_server);
   void l2_propose_remote(const zk::Envelope& env);
   void l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee);
-  void l2_send_recall(const TokenKey& key, SiteId owner);
+  void l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner);
   void l2_serve_unparked(std::vector<PendingRemote> ready);
   void l2_fan_out(const zk::Envelope& env);
   void l2_resync_site(SiteId site, std::uint64_t from_gseq);

@@ -13,6 +13,28 @@
 
 namespace wankeeper::wk {
 
+// Canonical batching-on knobs, shared by tests and benches so "batching on"
+// means the same configuration everywhere. Zab max_delay stays well under
+// the intra-site round trip's usefulness as a backstop; WAN max_delay is
+// ~1% of the shortest one-way WAN latency, so coalescing never shows up in
+// client-visible percentiles.
+inline zab::PeerOptions batched_peer_options(zab::PeerOptions base = {}) {
+  base.max_batch = 16;
+  base.max_delay = 2 * kMillisecond;
+  return base;
+}
+
+inline WanBatchOptions batched_wan_options() {
+  WanBatchOptions b;
+  b.max_msgs = 16;
+  b.max_bytes = 16 * 1024;
+  // Collection window for partial frames: generous next to 60-160 ms WAN
+  // RTTs (adds <2% to a cross-site hop) but wide enough to bunch messages
+  // produced a few hundred microseconds apart under load.
+  b.max_delay = 2 * kMillisecond;
+  return b;
+}
+
 struct DeploymentConfig {
   std::size_t sites = 3;
   std::size_t nodes_per_site = 3;
@@ -25,6 +47,13 @@ struct DeploymentConfig {
     // ~0.1 ms on reads; charge it on every client-facing request.
     server.service_time = 150 * kMicrosecond;
     server.head_overhead = 100 * kMicrosecond;
+  }
+
+  // Turn on Zab group commit + WAN frame coalescing (both default off).
+  DeploymentConfig& enable_batching() {
+    peer = batched_peer_options(peer);
+    wan.batch = batched_wan_options();
+    return *this;
   }
 };
 

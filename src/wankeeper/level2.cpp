@@ -152,14 +152,17 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
     pending.origin_server = origin_server;
     pending.request = req;
     pending.missing = missing;
+    // Piggyback: one recall message per owner site, not per key.
+    std::map<SiteId, std::vector<TokenKey>> recalls;
     for (const auto& key : missing) {
       const SiteId owner = broker_tokens_.owner(key);
       if (owner != kNoSite && !broker_tokens_.recall_in_progress(key)) {
-        l2_send_recall(key, owner);
+        recalls[owner].push_back(key);
       }
       // pending grants: the recall fires when the grant marker applies
     }
     broker_tokens_.park(std::move(pending));
+    for (auto& [owner, owner_keys] : recalls) l2_send_recall(owner_keys, owner);
     return;
   }
 
@@ -212,14 +215,17 @@ void Broker::l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee)
   propose_envelope(std::move(env), {});
 }
 
-void Broker::l2_send_recall(const TokenKey& key, SiteId owner) {
-  ++bstats_.recalls;
-  if (auditor_ != nullptr) auditor_->count_recall();
-  sim().obs().metrics.counter("token.recalls", site()).inc();
-  recall_sent_.try_emplace(key, now());
-  broker_tokens_.mark_recalling(key, true);
+void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
+  if (keys.empty()) return;
+  bstats_.recalls += keys.size();
+  for (const auto& key : keys) {
+    if (auditor_ != nullptr) auditor_->count_recall();
+    sim().obs().metrics.counter("token.recalls", site()).inc();
+    recall_sent_.try_emplace(key, now());
+    broker_tokens_.mark_recalling(key, true);
+  }
   auto m = std::make_shared<TokenRecallMsg>();
-  m->keys = {key};
+  m->keys = keys;
   transport_.send(owner, std::move(m));
 }
 

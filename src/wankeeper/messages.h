@@ -19,13 +19,18 @@ namespace wankeeper::wk {
 
 // --- transport framing ---
 
+// One frame carries one or more protocol messages with consecutive
+// sequence numbers (coalescing); inners[i] has sequence seq + i.
 struct WanEnvelopeMsg : sim::Message {
   SiteId from_site = kNoSite;
   std::uint32_t stream_epoch = 0;  // sender's zab epoch: new leader, new stream
-  std::uint64_t seq = 0;           // FIFO sequence within the stream
-  sim::MessagePtr inner;
+  std::uint64_t seq = 0;           // FIFO sequence of inners.front()
+  std::vector<sim::MessagePtr> inners;
+  std::uint64_t last_seq() const { return seq + inners.size() - 1; }
   std::size_t wire_size() const override {
-    return 32 + (inner ? inner->wire_size() : 0);
+    std::size_t n = 32;
+    for (const auto& inner : inners) n += 8 + inner->wire_size();
+    return n;
   }
   const char* name() const override { return "wk.envelope"; }
 };

@@ -2,23 +2,56 @@
 
 namespace wankeeper::wk {
 
-WanTransport::WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver)
-    : my_site_(my_site), raw_send_(std::move(raw_send)), deliver_(std::move(deliver)) {}
+WanTransport::WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver,
+                           WanBatchOptions batch, ScheduleFlush schedule_flush)
+    : my_site_(my_site),
+      raw_send_(std::move(raw_send)),
+      deliver_(std::move(deliver)),
+      batch_(batch),
+      schedule_flush_(std::move(schedule_flush)) {}
 
 void WanTransport::open_streams(std::uint32_t stream_epoch) {
   epoch_ = stream_epoch;
-  out_.clear();
+  out_.clear();  // drops in-flight frames AND partial batches of the old epoch
 }
 
 void WanTransport::send(SiteId dest, sim::MessagePtr inner) {
   auto& stream = out_[dest];
+  if (stream.pending.empty()) stream.pending_first_seq = stream.next_seq;
+  stream.pending_bytes += inner->wire_size();
+  stream.pending.push_back(std::move(inner));
+  ++stream.next_seq;
+  if (batch_.max_msgs <= 1 || stream.pending.size() >= batch_.max_msgs ||
+      stream.pending_bytes >= batch_.max_bytes) {
+    flush_stream(dest, stream);
+  } else if (stream.pending.size() == 1 && schedule_flush_) {
+    schedule_flush_(batch_.max_delay);
+  }
+}
+
+void WanTransport::flush(SiteId dest) {
+  const auto it = out_.find(dest);
+  if (it != out_.end()) flush_stream(dest, it->second);
+}
+
+void WanTransport::flush_all() {
+  for (auto& [dest, stream] : out_) flush_stream(dest, stream);
+}
+
+void WanTransport::flush_stream(SiteId dest, OutStream& stream) {
+  if (stream.pending.empty()) return;
   auto frame = std::make_shared<WanEnvelopeMsg>();
   frame->from_site = my_site_;
   frame->stream_epoch = epoch_;
-  frame->seq = stream.next_seq++;
-  frame->inner = std::move(inner);
-  stream.unacked.emplace_back(frame->seq, frame);
+  frame->seq = stream.pending_first_seq;
+  frame->inners = std::move(stream.pending);
+  stream.pending.clear();
+  stream.pending_bytes = 0;
+  stream.unacked.emplace_back(frame->last_seq(), frame);
+  stream.unacked_msgs += frame->inners.size();
   ++frames_sent_;
+  messages_sent_ += frame->inners.size();
+  if (on_frame_) on_frame_(frame->inners.size());
   raw_send_(dest, std::move(frame));
 }
 
@@ -43,17 +76,19 @@ void WanTransport::handle_envelope(const WanEnvelopeMsg& m) {
     stream.expected = 1;
     stream.buffer.clear();
   }
-  if (m.seq >= stream.expected) {
-    stream.buffer.emplace(m.seq, m.inner);
-    while (!stream.buffer.empty() &&
-           stream.buffer.begin()->first == stream.expected) {
-      const sim::MessagePtr inner = stream.buffer.begin()->second;
-      stream.buffer.erase(stream.buffer.begin());
-      ++stream.expected;
-      deliver_(m.from_site, inner);
-    }
+  for (std::size_t i = 0; i < m.inners.size(); ++i) {
+    const std::uint64_t seq = m.seq + i;
+    if (seq >= stream.expected) stream.buffer.emplace(seq, m.inners[i]);
   }
-  // Cumulative ack (also re-acks duplicates so the sender stops resending).
+  while (!stream.buffer.empty() &&
+         stream.buffer.begin()->first == stream.expected) {
+    const sim::MessagePtr inner = stream.buffer.begin()->second;
+    stream.buffer.erase(stream.buffer.begin());
+    ++stream.expected;
+    deliver_(m.from_site, inner);
+  }
+  // One cumulative ack per frame (also re-acks duplicates so the sender
+  // stops resending).
   auto ack = std::make_shared<WanAckMsg>();
   ack->from_site = my_site_;
   ack->stream_epoch = stream.epoch;
@@ -65,20 +100,32 @@ void WanTransport::handle_ack(const WanAckMsg& m) {
   if (m.stream_epoch != epoch_) return;
   auto it = out_.find(m.from_site);
   if (it == out_.end()) return;
-  auto& unacked = it->second.unacked;
-  while (!unacked.empty() && unacked.front().first <= m.cumulative) {
-    unacked.pop_front();
+  auto& stream = it->second;
+  // A frame is retired only once its last message is covered; a partial-
+  // frame ack (possible after loss) keeps the whole frame for retransmit.
+  while (!stream.unacked.empty() && stream.unacked.front().first <= m.cumulative) {
+    const auto* frame =
+        static_cast<const WanEnvelopeMsg*>(stream.unacked.front().second.get());
+    stream.unacked_msgs -= frame->inners.size();
+    stream.unacked.pop_front();
   }
 }
 
 void WanTransport::retransmit_tick(Time now, Time age) {
   for (auto& [dest, stream] : out_) {
+    // Backstop for partial batches when no flush timer is wired.
+    if (!stream.pending.empty() && now - stream.last_send >= age) {
+      flush_stream(dest, stream);
+      stream.last_send = now;
+      continue;
+    }
     if (stream.unacked.empty()) continue;
     if (now - stream.last_send < age) continue;
     stream.last_send = now;
-    // Resend a bounded window; FIFO reassembly tolerates duplicates.
+    // Resend a bounded window of whole frames; FIFO reassembly tolerates
+    // duplicates.
     std::size_t budget = 1024;
-    for (const auto& [seq, frame] : stream.unacked) {
+    for (const auto& [last_seq, frame] : stream.unacked) {
       if (budget-- == 0) break;
       ++retransmits_;
       raw_send_(dest, frame);
@@ -88,7 +135,8 @@ void WanTransport::retransmit_tick(Time now, Time age) {
 
 std::size_t WanTransport::unacked(SiteId dest) const {
   const auto it = out_.find(dest);
-  return it == out_.end() ? 0 : it->second.unacked.size();
+  if (it == out_.end()) return 0;
+  return it->second.pending.size() + it->second.unacked_msgs;
 }
 
 void WanTransport::reset() {

@@ -7,15 +7,24 @@
 // fresh stream; messages of dead streams are dropped and their content is
 // re-derived by the registration/frontier resync protocol one level up.
 //
+// Frame coalescing: with batch.max_msgs > 1, consecutive messages to the
+// same destination share one WanEnvelopeMsg frame (each inner keeps its own
+// sequence number). A partial batch is flushed when it reaches max_msgs or
+// max_bytes, when the owner-driven flush timer fires (see ScheduleFlush),
+// or on the retransmit tick as a backstop. Retransmission, acking, and
+// epoch bumps all operate on whole frames; receiver-side reassembly is
+// per-message, so FIFO and exactly-once are unchanged by batching.
+//
 // The class is passive (no actor of its own): the owning Broker feeds it
 // received envelopes/acks, drains its outgoing queue, and drives its
-// retransmission timer.
+// retransmission and flush timers.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/message.h"
@@ -23,31 +32,56 @@
 
 namespace wankeeper::wk {
 
+struct WanBatchOptions {
+  std::size_t max_msgs = 1;           // >1 enables coalescing
+  std::size_t max_bytes = 16 * 1024;  // flush when pending payload reaches this
+  Time max_delay = 500 * kMicrosecond;  // flush deadline after first pending msg
+};
+
 class WanTransport {
  public:
   // raw_send(dest_site, frame): hand a frame to the network (the Broker
   // resolves the destination site's current leader server).
   // deliver(src_site, inner): an in-order, deduplicated protocol message.
+  // schedule_flush(delay): ask the owner to call flush_all() after `delay`
+  // (the passive transport cannot arm timers itself). Optional; without it
+  // partial batches ride the owner's retransmit tick.
   using RawSend = std::function<void(SiteId, sim::MessagePtr)>;
   using Deliver = std::function<void(SiteId, const sim::MessagePtr&)>;
+  using ScheduleFlush = std::function<void(Time)>;
+  // Observes every frame put on the wire (first send only, not retransmits)
+  // with its inner-message count; the Broker hooks metrics here.
+  using FrameObserver = std::function<void(std::size_t)>;
 
-  WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver);
+  WanTransport(SiteId my_site, RawSend raw_send, Deliver deliver,
+               WanBatchOptions batch = {}, ScheduleFlush schedule_flush = {});
 
-  // New leadership at this site: abandon previous outgoing streams.
+  void set_frame_observer(FrameObserver cb) { on_frame_ = std::move(cb); }
+
+  // New leadership at this site: abandon previous outgoing streams
+  // (including any partial batches not yet framed).
   void open_streams(std::uint32_t stream_epoch);
   std::uint32_t stream_epoch() const { return epoch_; }
 
   // Queue `inner` for reliable FIFO delivery to `dest`'s leader.
   void send(SiteId dest, sim::MessagePtr inner);
 
+  // Frame and transmit any partial batch.
+  void flush(SiteId dest);
+  void flush_all();
+
   // Feed incoming frames. Returns true if the message was consumed.
   bool on_message(SiteId implied_from, const sim::MessagePtr& msg);
 
-  // Retransmit unacked frames older than `age`; call periodically.
+  // Retransmit unacked frames older than `age`; call periodically. Also
+  // flushes partial batches as a backstop.
   void retransmit_tick(Time now, Time age);
 
+  // Backlog to `dest` in messages (pending + framed-but-unacked), not
+  // frames, so shedding thresholds mean the same thing in both modes.
   std::size_t unacked(SiteId dest) const;
   std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
 
   void reset();  // crash: all stream state is volatile
@@ -55,7 +89,13 @@ class WanTransport {
  private:
   struct OutStream {
     std::uint64_t next_seq = 1;
-    std::deque<std::pair<std::uint64_t, sim::MessagePtr>> unacked;  // (seq, frame)
+    // Coalescing buffer; sequence numbers already assigned: pending[i] has
+    // seq pending_first_seq + i.
+    std::vector<sim::MessagePtr> pending;
+    std::uint64_t pending_first_seq = 0;
+    std::size_t pending_bytes = 0;
+    std::deque<std::pair<std::uint64_t, sim::MessagePtr>> unacked;  // (last seq, frame)
+    std::size_t unacked_msgs = 0;
     Time last_send = 0;
   };
   struct InStream {
@@ -64,16 +104,21 @@ class WanTransport {
     std::map<std::uint64_t, sim::MessagePtr> buffer;  // out-of-order inners
   };
 
+  void flush_stream(SiteId dest, OutStream& stream);
   void handle_envelope(const WanEnvelopeMsg& m);
   void handle_ack(const WanAckMsg& m);
 
   SiteId my_site_;
   RawSend raw_send_;
   Deliver deliver_;
+  WanBatchOptions batch_;
+  ScheduleFlush schedule_flush_;
+  FrameObserver on_frame_;
   std::uint32_t epoch_ = 0;
   std::map<SiteId, OutStream> out_;
   std::map<SiteId, InStream> in_;
   std::uint64_t frames_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
   std::uint64_t retransmits_ = 0;
 };
 

@@ -47,7 +47,12 @@ void run_drivers(sim::Simulator& sim, std::vector<std::unique_ptr<Driver>>& driv
 }  // namespace
 
 RunResult run_experiment(const RunConfig& config) {
-  Testbed bed(config.system, config.seed, config.wk_policy);
+  TestbedOptions bed_opts;
+  bed_opts.wk_policy = config.wk_policy;
+  bed_opts.batching = config.batching;
+  bed_opts.wan_frame_overhead = config.wan_frame_overhead;
+  bed_opts.wan_bytes_per_us = config.wan_bytes_per_us;
+  Testbed bed(config.system, config.seed, bed_opts);
   sim::Simulator& sim = bed.sim();
   RunResult result;
   result.clients.resize(config.clients.size());
@@ -173,6 +178,8 @@ RunResult run_experiment(const RunConfig& config) {
     result.wk_forwards = counters.forwards;
     result.wk_grants = counters.grants;
     result.wk_recalls = counters.recalls;
+    result.wk_frames_sent = sim.obs().metrics.counter_total("wan.frames_sent");
+    result.wk_frame_msgs = sim.obs().metrics.counter_total("wan.frame_msgs");
     result.token_audit_clean = bed.audit_clean();
   }
 

@@ -31,6 +31,10 @@ struct RunConfig {
   std::vector<ClientSpec> clients;
   std::string wk_policy = "consecutive:2";
   bool wk_hot_start = false;  // pre-grant private tokens (Fig 6 "WK Hot")
+  bool batching = false;      // group commit + WAN coalescing (canonical knobs)
+  // WAN channel occupancy (see sim::WanCostModel); default latency-only.
+  Time wan_frame_overhead = 0;
+  double wan_bytes_per_us = 0.0;
   std::uint64_t seed = 1;
   Time settle = 1 * kSecond;
   Time max_sim_time = 4 * 3600 * kSecond;  // runaway guard
@@ -64,6 +68,11 @@ struct RunResult {
   std::uint64_t wk_forwards = 0;
   std::uint64_t wk_grants = 0;
   std::uint64_t wk_recalls = 0;
+  // WAN transport frame accounting over the measurement phase (all sites):
+  // frames on the wire and protocol messages inside them; their ratio is
+  // the realized coalescing factor.
+  std::uint64_t wk_frames_sent = 0;
+  std::uint64_t wk_frame_msgs = 0;
   bool token_audit_clean = true;
 
   double local_write_fraction() const {

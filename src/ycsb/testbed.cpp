@@ -13,10 +13,13 @@ const char* system_name(SystemKind kind) {
   return "?";
 }
 
-Testbed::Testbed(SystemKind kind, std::uint64_t seed, const std::string& wk_policy)
+Testbed::Testbed(SystemKind kind, std::uint64_t seed, TestbedOptions opts)
     : kind_(kind),
       sim_(std::make_unique<sim::Simulator>(seed)),
       net_(std::make_unique<sim::Network>(*sim_, sim::LatencyModel::paper_wan())) {
+  net_->set_wan_cost({opts.wan_frame_overhead, opts.wan_bytes_per_us});
+  zab::PeerOptions peer_opts;
+  if (opts.batching) peer_opts = wk::batched_peer_options(peer_opts);
   switch (kind_) {
     case SystemKind::kZooKeeper: {
       // One voter per region; Virginia last => leader site (paper setup).
@@ -24,7 +27,8 @@ Testbed::Testbed(SystemKind kind, std::uint64_t seed, const std::string& wk_poli
           *sim_, *net_,
           std::vector<zk::NodeSpec>{{kCalifornia, false},
                                     {kFrankfurt, false},
-                                    {kVirginia, false}});
+                                    {kVirginia, false}},
+          zk::ServerOptions{}, peer_opts);
       if (!ensemble_->wait_for_leader()) throw std::runtime_error("no ZK leader");
       break;
     }
@@ -36,7 +40,8 @@ Testbed::Testbed(SystemKind kind, std::uint64_t seed, const std::string& wk_poli
                                     {kVirginia, false},
                                     {kVirginia, false},
                                     {kCalifornia, true},
-                                    {kFrankfurt, true}});
+                                    {kFrankfurt, true}},
+          zk::ServerOptions{}, peer_opts);
       if (!ensemble_->wait_for_leader()) throw std::runtime_error("no ZKO leader");
       break;
     }
@@ -44,7 +49,8 @@ Testbed::Testbed(SystemKind kind, std::uint64_t seed, const std::string& wk_poli
       auditor_ = std::make_unique<wk::TokenAuditor>();
       wk::DeploymentConfig cfg;
       cfg.wan.l2_site = kVirginia;
-      cfg.wan.policy = wk_policy;
+      cfg.wan.policy = opts.wk_policy;
+      if (opts.batching) cfg.enable_batching();
       deployment_ = std::make_unique<wk::Deployment>(*sim_, *net_, cfg, auditor_.get());
       if (!deployment_->wait_ready()) throw std::runtime_error("WK not ready");
       break;

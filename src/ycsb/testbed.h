@@ -21,12 +21,24 @@ inline constexpr SiteId kVirginia = 0;
 inline constexpr SiteId kCalifornia = 1;
 inline constexpr SiteId kFrankfurt = 2;
 
+struct TestbedOptions {
+  std::string wk_policy = "consecutive:2";
+  // Zab group commit + WAN frame coalescing (canonical knobs; applies to
+  // the ZK systems' peers too so mode comparisons are apples-to-apples).
+  bool batching = false;
+  // WAN channel occupancy (default: latency-only, the legacy model).
+  Time wan_frame_overhead = 0;
+  double wan_bytes_per_us = 0.0;
+};
+
 class Testbed {
  public:
   // Builds and boots the system; returns once a leader (and for WanKeeper,
   // site registration) is established.
+  Testbed(SystemKind kind, std::uint64_t seed, TestbedOptions opts);
   Testbed(SystemKind kind, std::uint64_t seed,
-          const std::string& wk_policy = "consecutive:2");
+          const std::string& wk_policy = "consecutive:2")
+      : Testbed(kind, seed, TestbedOptions{wk_policy}) {}
 
   SystemKind kind() const { return kind_; }
   sim::Simulator& sim() { return *sim_; }

@@ -12,6 +12,16 @@ void TxnLog::append(LogEntry entry) {
   entries_.push_back(std::move(entry));
 }
 
+std::size_t TxnLog::append_new(const std::vector<LogEntry>& entries) {
+  std::size_t appended = 0;
+  for (const auto& e : entries) {
+    if (e.zxid <= last_zxid()) continue;
+    entries_.push_back(e);
+    ++appended;
+  }
+  return appended;
+}
+
 Zxid TxnLog::last_zxid() const {
   return entries_.empty() ? kNoZxid : entries_.back().zxid;
 }

@@ -22,6 +22,10 @@ class TxnLog {
   // Appends must be in strictly increasing zxid order.
   void append(LogEntry entry);
 
+  // Batch append: skips entries at or below the current tail (a batch may
+  // overlap entries already received via sync). Returns the count appended.
+  std::size_t append_new(const std::vector<LogEntry>& entries);
+
   Zxid last_zxid() const;
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }

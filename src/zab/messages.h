@@ -85,10 +85,16 @@ struct ObserverInfoMsg : sim::Message {
 
 // --- broadcast ---
 
+// One quorum round may carry several contiguous entries (group commit);
+// a batch of one is the unbatched protocol.
 struct ProposeMsg : sim::Message {
   std::uint32_t epoch = 0;
-  LogEntry entry;
-  std::size_t wire_size() const override { return 48 + entry.payload.size(); }
+  std::vector<LogEntry> entries;  // contiguous, ascending zxids
+  std::size_t wire_size() const override {
+    std::size_t n = 16;
+    for (const auto& e : entries) n += 32 + e.payload.size();
+    return n;
+  }
   const char* name() const override { return "zab.propose"; }
 };
 

@@ -82,6 +82,9 @@ void Peer::reset_volatile_role_state() {
   synced_observers_.clear();
   proposal_acks_.clear();
   proposed_at_.clear();
+  pending_batch_.clear();
+  broadcast_frontier_ = kNoZxid;
+  flush_timer_armed_ = false;
   last_contact_.clear();
 }
 
@@ -249,6 +252,8 @@ void Peer::enter_discovery() {
   synced_followers_.clear();
   synced_observers_.clear();
   proposal_acks_.clear();
+  pending_batch_.clear();
+  broadcast_frontier_ = kNoZxid;
   follower_infos_[id()] = last_logged();
   max_accepted_epoch_seen_ = accepted_epoch_;
   WK_DEBUG(now(), name(), "leader-elect: entering discovery");
@@ -380,9 +385,7 @@ void Peer::handle_sync(NodeId from, const SyncMsg& m) {
   accepted_epoch_ = m.epoch;
   leader_ = from;
   log_.truncate_after(m.truncate_to);
-  for (const auto& e : m.entries) {
-    if (e.zxid > log_.last_zxid()) log_.append(e);
-  }
+  log_.append_new(m.entries);
   advance_commit_frontier(m.commit_up_to);
   deliver_committed();
   last_leader_contact_ = now();
@@ -451,14 +454,43 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
   proposal_acks_[zxid].insert(id());
   sim().obs().metrics.counter("zab.proposals", net_->site_of(id())).inc();
   proposed_at_[zxid] = now();
-  for (NodeId f : synced_followers_) {
-    auto m = std::make_shared<ProposeMsg>();
-    m->epoch = current_epoch_;
-    m->entry = entry;
-    send(f, m);
+  pending_batch_.push_back(std::move(entry));
+  // Natural batching: ship at once when the pipe is idle (a lone request
+  // pays zero extra latency); while a round is in flight, accumulate.
+  const bool round_in_flight = broadcast_frontier_ > commit_frontier_;
+  if (opts_.max_batch <= 1 || pending_batch_.size() >= opts_.max_batch ||
+      !round_in_flight) {
+    flush_batch();
+  } else {
+    arm_flush_timer();
   }
   maybe_commit();
   return zxid;
+}
+
+// Broadcast every pending entry as one multi-entry PROPOSE.
+void Peer::flush_batch() {
+  if (pending_batch_.empty() || !leading()) return;
+  sim().obs().metrics.histogram("zab.batch_size", net_->site_of(id()))
+      .record(static_cast<Time>(pending_batch_.size()));
+  auto m = std::make_shared<ProposeMsg>();
+  m->epoch = current_epoch_;
+  m->entries = std::move(pending_batch_);
+  pending_batch_.clear();
+  broadcast_frontier_ = std::max(broadcast_frontier_, m->entries.back().zxid);
+  for (NodeId f : synced_followers_) send(f, m);
+}
+
+// Backstop so the last partial batch cannot stall when the in-flight round
+// dies (e.g. its acks were lost and retransmission is up to re-election).
+void Peer::arm_flush_timer() {
+  if (flush_timer_armed_) return;
+  flush_timer_armed_ = true;
+  const std::uint32_t epoch = current_epoch_;
+  set_timer(opts_.max_delay, [this, epoch]() {
+    flush_timer_armed_ = false;
+    if (leading() && current_epoch_ == epoch) flush_batch();
+  });
 }
 
 // A learner may only append contiguously: within an epoch counters
@@ -500,16 +532,20 @@ void Peer::request_resync() {
 void Peer::handle_propose(NodeId from, const ProposeMsg& m) {
   if (!from_current_leader(from, m.epoch)) return;
   last_leader_contact_ = now();
-  if (m.entry.zxid > log_.last_zxid()) {
-    if (!extends_log(m.entry.zxid)) {
+  if (m.entries.empty()) return;
+  for (const auto& entry : m.entries) {
+    if (entry.zxid <= log_.last_zxid()) continue;  // duplicate (e.g. via sync)
+    if (!extends_log(entry.zxid)) {
       request_resync();
       return;  // do NOT ack past the hole
     }
-    log_.append(m.entry);
+    log_.append(entry);
   }
   auto ack = std::make_shared<AckMsg>();
   ack->epoch = m.epoch;
-  ack->zxid = m.entry.zxid;
+  // Cumulative over what we actually hold, capped at this batch's tail
+  // (acking beyond it would claim entries from a later lost PROPOSE).
+  ack->zxid = std::min(log_.last_zxid(), m.entries.back().zxid);
   send(from, ack);
 }
 
@@ -550,6 +586,10 @@ void Peer::maybe_commit() {
       inform->entry = entry;
       send(o, inform);
     }
+  }
+  // Group commit: the quorum round just completed; ship the next batch.
+  if (!pending_batch_.empty() && broadcast_frontier_ <= commit_frontier_) {
+    flush_batch();
   }
 }
 

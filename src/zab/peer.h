@@ -56,6 +56,14 @@ struct PeerOptions {
   Time follower_timeout = 700 * kMillisecond;    // silence from leader -> looking
   Time leader_quorum_timeout = 900 * kMillisecond;  // leader lost quorum -> looking
   Time boot_stagger = 10 * kMillisecond;         // per-peer offset at start_election
+
+  // Group commit (leader-side batching). With max_batch <= 1 every proposal
+  // is broadcast immediately (the unbatched protocol). With max_batch > 1
+  // the leader uses "natural" batching: a proposal is broadcast at once when
+  // no quorum round is in flight, otherwise it accumulates until the round
+  // completes, max_batch entries are pending, or max_delay elapses.
+  std::size_t max_batch = 1;
+  Time max_delay = 2 * kMillisecond;
 };
 
 class Peer : public sim::Actor {
@@ -137,6 +145,8 @@ class Peer : public sim::Actor {
   // --- broadcast ---
   bool extends_log(Zxid next) const;
   void request_resync();
+  void flush_batch();
+  void arm_flush_timer();
   void handle_propose(NodeId from, const ProposeMsg& m);
   void handle_ack(NodeId from, const AckMsg& m);
   void maybe_commit();
@@ -196,6 +206,12 @@ class Peer : public sim::Actor {
   std::uint32_t counter_ = 0;
   std::map<Zxid, std::set<NodeId>> proposal_acks_;
   std::map<Zxid, Time> proposed_at_;  // leader: propose->deliver latency
+  // Group commit: logged-but-not-yet-broadcast entries and the highest zxid
+  // already sent to followers (a round is in flight while it exceeds the
+  // commit frontier).
+  std::vector<LogEntry> pending_batch_;
+  Zxid broadcast_frontier_ = kNoZxid;
+  bool flush_timer_armed_ = false;
   Zxid commit_frontier_ = kNoZxid;
   std::map<NodeId, Time> last_contact_;
 

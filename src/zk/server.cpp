@@ -539,6 +539,17 @@ void Server::on_commit(const zab::LogEntry& entry) {
 
 void Server::apply_committed(const Envelope& env) {
   ++stats_.txns_applied;
+  // Commits landing at the same instant arrived as one group-commit round;
+  // the burst size histogram makes batching visible at the apply path.
+  if (now() != last_apply_at_) {
+    if (apply_burst_ > 0) {
+      sim().obs().metrics.histogram("zk.apply_burst", site())
+          .record(static_cast<Time>(apply_burst_));
+    }
+    apply_burst_ = 0;
+    last_apply_at_ = now();
+  }
+  ++apply_burst_;
   const store::Txn& txn = env.txn;
   // Pairs with the proposing leader's open; a no-op on the other replicas.
   sim().obs().tracer.close(env.trace, obs::SpanKind::kZabPropose, site(), now());

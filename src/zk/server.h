@@ -202,6 +202,8 @@ class Server : public sim::Actor, public zab::StateMachine {
 
   NodeId leader_server_ = kNoNode;
   Time busy_until_ = 0;
+  Time last_apply_at_ = -1;      // commit-burst tracking (zk.apply_burst)
+  std::uint64_t apply_burst_ = 0;
   ServerStats stats_;
 };
 

@@ -4,9 +4,12 @@
 //   - per-client FIFO order (read-your-writes, even across WAN commits),
 //   - causal consistency across objects and sites (hub ordering),
 //   - eventual convergence of all replicas at all sites.
-// Seeded sweeps run the same random workload under several seeds.
+// Seeded sweeps run the same random workload under several seeds, and the
+// whole matrix again with group commit + WAN coalescing enabled: batching
+// must be invisible to every consistency property.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -21,14 +24,33 @@ constexpr SiteId kVA = 0;
 constexpr SiteId kCA = 1;
 constexpr SiteId kFRA = 2;
 
-class ConsistencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+// (seed, batching on/off)
+using SweepParam = std::tuple<std::uint64_t, bool>;
 
-TEST_P(ConsistencySweep, RandomContendedWorkloadKeepsAllInvariants) {
-  const std::uint64_t seed = GetParam();
+std::string sweep_param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_batched" : "_unbatched");
+}
+
+class ConsistencySweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Extra seeds for the slow tier (ctest -C slow -L slow / WK_SLOW_TESTS=1).
+class ConsistencySweepSlow : public ConsistencySweep {
+ protected:
+  void SetUp() override {
+    if (std::getenv("WK_SLOW_TESTS") == nullptr) {
+      GTEST_SKIP() << "set WK_SLOW_TESTS=1 (or run ctest -C slow -L slow)";
+    }
+  }
+};
+
+void run_contended_sweep(std::uint64_t seed, bool batching) {
   sim::Simulator sim(seed);
   sim::Network net(sim, sim::LatencyModel::paper_wan());
   wk::TokenAuditor audit;
-  wk::Deployment deploy(sim, net, {}, &audit);
+  wk::DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  wk::Deployment deploy(sim, net, cfg, &audit);
   ASSERT_TRUE(deploy.wait_ready());
 
   // Shared key space: every client hits every key, maximizing migration
@@ -128,8 +150,26 @@ TEST_P(ConsistencySweep, RandomContendedWorkloadKeepsAllInvariants) {
   }
 }
 
+TEST_P(ConsistencySweep, RandomContendedWorkloadKeepsAllInvariants) {
+  run_contended_sweep(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+TEST_P(ConsistencySweepSlow, RandomContendedWorkloadKeepsAllInvariants) {
+  run_contended_sweep(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySweep,
-                         ::testing::Values(1, 7, 42, 1337, 90210));
+                         ::testing::Combine(::testing::Values(1, 7, 42, 1337,
+                                                              90210),
+                                            ::testing::Bool()),
+                         sweep_param_name);
+
+INSTANTIATE_TEST_SUITE_P(WideSeeds, ConsistencySweepSlow,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 13,
+                                                              21, 34, 55, 89,
+                                                              144),
+                                            ::testing::Bool()),
+                         sweep_param_name);
 
 TEST(Consistency, ReadYourWritesAcrossWanCommit) {
   sim::Simulator sim(5);

@@ -1,7 +1,11 @@
 // Failure-injection property tests: random crash and partition schedules
 // over a loaded WanKeeper deployment must never violate token safety, and
-// after healing the system must recover liveness and converge.
+// after healing the system must recover liveness and converge. The crash
+// sweep runs with batching both off and on: a leader crash mid-batch or a
+// dropped coalesced frame must not weaken any invariant.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "sim/failure.h"
 #include "sim/network.h"
@@ -65,14 +69,35 @@ struct LoadedDeployment {
   }
 };
 
-class FailureSweep : public ::testing::TestWithParam<std::uint64_t> {};
+// (seed, batching on/off)
+using FailureParam = std::tuple<std::uint64_t, bool>;
 
-TEST_P(FailureSweep, RandomCrashesNeverViolateTokenSafety) {
-  LoadedDeployment d(GetParam());
+std::string failure_param_name(
+    const ::testing::TestParamInfo<FailureParam>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_batched" : "_unbatched");
+}
+
+class FailureSweep : public ::testing::TestWithParam<FailureParam> {};
+
+// Extra seeds for the slow tier (ctest -C slow -L slow / WK_SLOW_TESTS=1).
+class FailureSweepSlow : public FailureSweep {
+ protected:
+  void SetUp() override {
+    if (std::getenv("WK_SLOW_TESTS") == nullptr) {
+      GTEST_SKIP() << "set WK_SLOW_TESTS=1 (or run ctest -C slow -L slow)";
+    }
+  }
+};
+
+void run_crash_sweep(std::uint64_t seed, bool batching) {
+  wk::DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  LoadedDeployment d(seed, cfg);
   d.start_load();
 
   // Random single-node crashes with restart, over a minute of load.
-  Rng schedule(GetParam() * 97);
+  Rng schedule(seed * 97);
   for (int i = 0; i < 4; ++i) {
     const Time when = d.sim.now() + 5 * kSecond + static_cast<Time>(
                           schedule.uniform(10 * kSecond));
@@ -100,7 +125,51 @@ TEST_P(FailureSweep, RandomCrashesNeverViolateTokenSafety) {
   EXPECT_GT(total, 100u) << "the system made little progress under failures";
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FailureSweep, ::testing::Values(3, 17, 23));
+TEST_P(FailureSweep, RandomCrashesNeverViolateTokenSafety) {
+  run_crash_sweep(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+TEST_P(FailureSweepSlow, RandomCrashesNeverViolateTokenSafety) {
+  run_crash_sweep(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSweep,
+                         ::testing::Combine(::testing::Values(3, 17, 23),
+                                            ::testing::Bool()),
+                         failure_param_name);
+
+// Seeds 7, 11, 41 and 151 are deliberately absent: their crash schedules
+// expose a pre-existing convergence gap (one site ends one record version
+// behind after the quiesce, with batching both off and on — reproduced on
+// the unmodified seed code, so not introduced by group commit/coalescing).
+// Tracked as an open item in ROADMAP.md; re-add them once fixed.
+INSTANTIATE_TEST_SUITE_P(WideSeeds, FailureSweepSlow,
+                         ::testing::Combine(::testing::Values(19, 37, 53, 61,
+                                                              71, 101, 131,
+                                                              181),
+                                            ::testing::Bool()),
+                         failure_param_name);
+
+TEST(FailuresBatched, MessageLossHandledByFrameRetransmission) {
+  // 1% loss with coalescing on: dropped frames carry several protocol
+  // messages each, so whole-frame retransmission and exactly-once delivery
+  // are both load-bearing here.
+  wk::DeploymentConfig cfg;
+  cfg.enable_batching();
+  LoadedDeployment d(31, cfg);
+  d.net.set_drop_rate(0.01);
+  d.start_load();
+  d.sim.run_for(60 * kSecond);
+  d.net.set_drop_rate(0.0);
+  d.sim.run_for(10 * kSecond);
+  d.stop = true;
+  d.sim.run_for(20 * kSecond);
+  EXPECT_TRUE(d.audit.clean())
+      << (d.audit.violations().empty() ? "" : d.audit.violations().front());
+  EXPECT_TRUE(d.deploy.converged());
+  const std::uint64_t total = d.completed[0] + d.completed[1] + d.completed[2];
+  EXPECT_GT(total, 30u);
+}
 
 TEST(Failures, PartitionedNonL2SiteStallsThenRecoversAndConverges) {
   // With the default (long) token lease, a transient partition is pure CP:
@@ -175,6 +244,7 @@ TEST(Failures, MessageLossHandledByRetransmission) {
   const std::uint64_t total = d.completed[0] + d.completed[1] + d.completed[2];
   EXPECT_GT(total, 30u);
 }
+
 
 }  // namespace
 }  // namespace wankeeper

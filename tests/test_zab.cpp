@@ -86,12 +86,13 @@ struct ZabHarness {
   std::vector<std::unique_ptr<RecordingSm>> sms;
   std::vector<std::unique_ptr<Peer>> peers;
 
-  explicit ZabHarness(std::size_t n, std::size_t observers = 0) {
+  explicit ZabHarness(std::size_t n, std::size_t observers = 0,
+                      PeerOptions opts = {}) {
     std::vector<NodeId> voter_ids, observer_ids;
     for (std::size_t i = 0; i < n + observers; ++i) {
       sms.push_back(std::make_unique<RecordingSm>());
-      peers.push_back(
-          std::make_unique<Peer>(sim, "p" + std::to_string(i), *sms.back()));
+      peers.push_back(std::make_unique<Peer>(sim, "p" + std::to_string(i),
+                                             *sms.back(), opts));
     }
     for (std::size_t i = 0; i < peers.size(); ++i) {
       const NodeId id = net.add_node(*peers[i], 0);
@@ -151,7 +152,9 @@ TEST(ZabPeer, ProposeRejectedOnNonLeader) {
   ZabHarness h(3);
   ASSERT_TRUE(h.wait_for_leader());
   for (auto& p : h.peers) {
-    if (!p->leading()) EXPECT_EQ(p->propose({1}), kNoZxid);
+    if (!p->leading()) {
+      EXPECT_EQ(p->propose({1}), kNoZxid);
+    }
   }
 }
 
@@ -293,6 +296,138 @@ TEST(ZabPeer, DivergentUncommittedTailIsTruncated) {
   EXPECT_FALSE(old_leader->log().contains(orphan));
   ASSERT_GE(h.sms[2]->committed.size(), 1u);
   EXPECT_EQ(h.sms[2]->committed.back().payload, (std::vector<std::uint8_t>{7}));
+}
+
+// ---------------------------------------------------------- group commit
+
+PeerOptions batched(std::size_t max_batch = 8, Time max_delay = 5 * kMillisecond) {
+  PeerOptions o;
+  o.max_batch = max_batch;
+  o.max_delay = max_delay;
+  return o;
+}
+
+// All committed sequences are identical across replicas, zxids are gapless
+// within each epoch, and payload order matches proposal order.
+void expect_gapless_and_ordered(const ZabHarness& h,
+                                std::size_t expect_committed) {
+  for (std::size_t p = 0; p < h.sms.size(); ++p) {
+    const auto& committed = h.sms[p]->committed;
+    ASSERT_EQ(committed.size(), expect_committed) << "peer " << p;
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      EXPECT_EQ(committed[i].zxid, h.sms[0]->committed[i].zxid);
+      EXPECT_EQ(committed[i].payload, h.sms[0]->committed[i].payload);
+      if (i > 0) {
+        const Zxid prev = committed[i - 1].zxid;
+        const Zxid cur = committed[i].zxid;
+        EXPECT_GT(cur, prev);
+        if (zxid_epoch(cur) == zxid_epoch(prev)) {
+          EXPECT_EQ(zxid_counter(cur), zxid_counter(prev) + 1) << "gap at " << i;
+        } else {
+          EXPECT_EQ(zxid_counter(cur), 1u) << "new epoch must restart at 1";
+        }
+      }
+    }
+  }
+}
+
+TEST(ZabGroupCommit, BurstCommitsInOrderWithGaplessZxids) {
+  ZabHarness h(3, 0, batched());
+  ASSERT_TRUE(h.wait_for_leader());
+  // A same-instant burst: the first proposal flushes immediately (pipe
+  // idle); the rest accumulate into multi-entry rounds.
+  std::vector<Zxid> zxids;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    const Zxid z = h.leader()->propose({i});
+    ASSERT_NE(z, kNoZxid);
+    ASSERT_TRUE(zxids.empty() || z > zxids.back());  // assigned at propose time
+    zxids.push_back(z);
+  }
+  h.sim.run_for(1 * kSecond);
+  expect_gapless_and_ordered(h, 20);
+  for (std::size_t i = 0; i < zxids.size(); ++i) {
+    EXPECT_EQ(h.sms[0]->committed[i].zxid, zxids[i]);
+    EXPECT_EQ(h.sms[0]->committed[i].payload,
+              std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+  }
+  // The win: 20 proposals needed far fewer broadcast rounds.
+  const auto& batches = h.sim.obs().metrics.histogram("zab.batch_size", 0);
+  EXPECT_GT(batches.count(), 0u);
+  EXPECT_LT(batches.count(), 20u);
+}
+
+TEST(ZabGroupCommit, ObserversSeeBatchedCommitsInOrder) {
+  ZabHarness h(3, /*observers=*/1, batched());
+  ASSERT_TRUE(h.wait_for_leader());
+  for (std::uint8_t i = 0; i < 12; ++i) h.leader()->propose({i});
+  h.sim.run_for(2 * kSecond);
+  expect_gapless_and_ordered(h, 12);
+}
+
+TEST(ZabGroupCommit, LoneRequestFlushesWithoutWaitingForFullBatch) {
+  // Huge batch cap: a stalled batch would wait forever for 63 more requests.
+  ZabHarness h(3, 0, batched(/*max_batch=*/64, /*max_delay=*/5 * kMillisecond));
+  ASSERT_TRUE(h.wait_for_leader());
+  h.leader()->propose({1});
+  // Commit must arrive within network round trips + max_delay, not stall.
+  h.sim.run_for(10 * kMillisecond);
+  for (auto& sm : h.sms) EXPECT_EQ(sm->committed.size(), 1u);
+}
+
+TEST(ZabGroupCommit, TrailingPartialBatchFlushesWithinMaxDelay) {
+  ZabHarness h(3, 0, batched(/*max_batch=*/64, /*max_delay=*/5 * kMillisecond));
+  ASSERT_TRUE(h.wait_for_leader());
+  // 10 proposals: 1 flushes immediately, 9 ride behind the in-flight round;
+  // nothing reaches max_batch, so the trailing batch depends on the
+  // round-completion/max_delay flush.
+  for (std::uint8_t i = 0; i < 10; ++i) h.leader()->propose({i});
+  h.sim.run_for(20 * kMillisecond);
+  expect_gapless_and_ordered(h, 10);
+}
+
+TEST(ZabGroupCommit, LeaderCrashMidBatchPreservesOrderAndGaplessness) {
+  ZabHarness h(3, 0, batched(/*max_batch=*/4));
+  ASSERT_TRUE(h.wait_for_leader());
+  Peer* old_leader = h.leader();
+  for (std::uint8_t i = 0; i < 6; ++i) old_leader->propose({i});
+  h.sim.run_for(1 * kSecond);
+  const std::size_t committed_before = h.sms[0]->committed.size();
+  EXPECT_EQ(committed_before, 6u);
+
+  // A burst, then crash before any of it can commit: some entries are
+  // broadcast, the rest sit unflushed in the leader's (durable) log.
+  for (std::uint8_t i = 6; i < 16; ++i) old_leader->propose({i});
+  old_leader->crash();
+  ASSERT_TRUE(h.wait_for_leader(20 * kSecond));
+  ASSERT_NE(h.leader(), old_leader);
+  h.leader()->propose({100});
+  h.sim.run_for(1 * kSecond);
+  old_leader->restart();
+  h.sim.run_for(5 * kSecond);
+
+  // Whatever survived, every replica agrees on it, zxids are gapless per
+  // epoch, and surviving pre-crash entries precede post-crash ones.
+  const std::size_t total = h.sms[0]->committed.size();
+  ASSERT_GE(total, committed_before + 1);
+  expect_gapless_and_ordered(h, total);
+  EXPECT_EQ(h.sms[0]->committed.back().payload, (std::vector<std::uint8_t>{100}));
+  // The committed prefix from before the crash survived verbatim.
+  for (std::size_t i = 0; i < committed_before; ++i) {
+    EXPECT_EQ(h.sms[0]->committed[i].payload,
+              std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+  }
+}
+
+TEST(ZabGroupCommit, BatchingOffMatchesLegacyBehavior) {
+  ZabHarness h(3);  // default options: max_batch = 1
+  ASSERT_TRUE(h.wait_for_leader());
+  for (std::uint8_t i = 0; i < 8; ++i) h.leader()->propose({i});
+  h.sim.run_for(1 * kSecond);
+  expect_gapless_and_ordered(h, 8);
+  // Every proposal was its own broadcast round of one entry.
+  const auto& batches = h.sim.obs().metrics.histogram("zab.batch_size", 0);
+  EXPECT_EQ(batches.count(), 8u);
+  EXPECT_EQ(batches.recorder().percentile_us(1.0), 1);
 }
 
 }  // namespace
