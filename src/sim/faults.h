@@ -1,0 +1,54 @@
+// Named fault-injection points for recovery testing. Protocol code marks
+// the instants the recovery path is most fragile (a resync request just
+// sent, a sync partially applied, a grant in flight during a leader change)
+// by firing a named point; tests arm hooks that crash a node or cut a link
+// at exactly that virtual-time instant. With nothing armed a fire() is a
+// cheap counter bump, so the hooks stay compiled into the product code.
+//
+// Hooks are persistent (they fire every time the point is hit) and receive
+// the name of the actor that hit the point, so a test can act on the first
+// hit, a specific replica, or the Nth occurrence via captured state.
+// Deterministic: hooks run inline at the fire site, in arm order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wankeeper::sim {
+
+class FaultPoints {
+ public:
+  // hook(actor_name): runs synchronously inside the firing actor's handler.
+  // The actor checks up() after firing, so a hook may crash it mid-handler.
+  using Hook = std::function<void(const std::string&)>;
+
+  void arm(const std::string& point, Hook hook) {
+    hooks_[point].push_back(std::move(hook));
+  }
+
+  void fire(const std::string& point, const std::string& actor) {
+    ++fires_[point];
+    const auto it = hooks_.find(point);
+    if (it == hooks_.end()) return;
+    for (const auto& hook : it->second) hook(actor);
+  }
+
+  std::uint64_t fires(const std::string& point) const {
+    const auto it = fires_.find(point);
+    return it == fires_.end() ? 0 : it->second;
+  }
+
+  void clear() {
+    hooks_.clear();
+    fires_.clear();
+  }
+
+ private:
+  std::map<std::string, std::vector<Hook>> hooks_;
+  std::map<std::string, std::uint64_t> fires_;
+};
+
+}  // namespace wankeeper::sim

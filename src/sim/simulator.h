@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "obs/context.h"
+#include "sim/faults.h"
 
 namespace wankeeper::sim {
 
@@ -26,6 +27,8 @@ class Simulator {
   Rng& rng() { return rng_; }
   // Flight recorder (metrics + traces) for everything running on this sim.
   obs::Context& obs() { return obs_; }
+  // Recovery fault-injection points (see sim/faults.h).
+  FaultPoints& faults() { return faults_; }
 
   // Schedule `fn` at absolute virtual time `when` (>= now). Events at equal
   // times run in scheduling order. Returns an id usable with cancel().
@@ -66,6 +69,7 @@ class Simulator {
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
   obs::Context obs_;
+  FaultPoints faults_;
 };
 
 }  // namespace wankeeper::sim

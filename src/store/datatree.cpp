@@ -187,8 +187,15 @@ Rc DataTree::apply_delete(const Txn& txn) {
 Rc DataTree::apply_set_data(const Txn& txn, Time now) {
   const auto it = nodes_.find(txn.path);
   if (it == nodes_.end()) return Rc::kNoNode;
+  // Idempotent: the serialization point (token holder or L2) computed the
+  // resulting version, and versions of one record are totally ordered by
+  // it. Apply is last-writer-wins on that order: a cross-site resync can
+  // refill an old missed write *after* newer ones (local apply order is
+  // zab order, not gseq order), and skipping the stale overwrite here is
+  // what lets every site converge to the same record whatever the refill
+  // order. Re-applying the newest txn (zab sync replay) is a no-op too.
+  if (txn.version <= it->second.stat.version) return Rc::kOk;
   it->second.data = txn.data;
-  // Idempotent: the leader computed the resulting version.
   it->second.stat.version = txn.version;
   it->second.stat.mzxid = txn.zxid;
   it->second.stat.mtime = now;

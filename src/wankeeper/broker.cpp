@@ -45,6 +45,7 @@ void Broker::start() {
   Server::start();
   // Rebind the transport's site id now that set_site() has run.
   transport_ = make_transport(site());
+  transport_.set_from_node(id());
   set_timer(wan_.retransmit_interval, [this]() { wan_tick(); });
   set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
 }
@@ -62,8 +63,10 @@ void Broker::on_crash() {
   l2_pending_grants_.clear();
   site_last_heard_.clear();
   wan_live_sessions_.clear();
-  site_down_frontier_.clear();
+  site_frontiers_.clear();
+  resync_sent_at_.clear();
   leader_hint_.clear();
+  peer_zab_epoch_.clear();
   recall_sent_.clear();
   registered_ = false;
   l2_last_heard_ = 0;
@@ -77,6 +80,12 @@ void Broker::on_restart() {
 
 void Broker::became_leader() {
   transport_.open_streams(peer()->current_epoch());
+  // Re-derive the L2 sequence from the applied log (which zab fully
+  // delivers before this hook): a stale in-memory counter from an earlier
+  // reign here would re-stamp gseqs an interim leader already used, putting
+  // two different txns under one counter — receivers keep whichever arrives
+  // first and the sites never converge.
+  gseq_counter_ = 0;
   registered_ = false;
   l2_last_heard_ = now();  // grace period before lease panic / failover
   if (site() != l2_site_) send_register();
@@ -104,6 +113,47 @@ void Broker::raw_send_to_site(SiteId dest, sim::MessagePtr frame) {
   net().send(id(), servers[hint], std::move(frame));
 }
 
+void Broker::learn_leader_hint(SiteId s, NodeId node) {
+  if (s == kNoSite || node == kNoNode ||
+      static_cast<std::size_t>(s) >= directory_->sites()) {
+    return;
+  }
+  const auto& servers = directory_->servers_by_site[static_cast<std::size_t>(s)];
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i] == node) {
+      leader_hint_[s] = i;
+      return;
+    }
+  }
+}
+
+void Broker::observe_peer(SiteId s, NodeId leader_node, std::uint32_t zab_epoch) {
+  if (s == kNoSite || s == site()) return;
+  learn_leader_hint(s, leader_node);
+  if (zab_epoch == 0) return;
+  const auto it = peer_zab_epoch_.find(s);
+  if (it == peer_zab_epoch_.end()) {
+    peer_zab_epoch_[s] = zab_epoch;  // baseline; nothing of ours can be stale
+    return;
+  }
+  if (zab_epoch <= it->second) return;
+  it->second = zab_epoch;
+  // The peer site's old leadership is gone, and with it the in-stream state
+  // our outgoing frames were sequenced against: without a reset the new
+  // leader buffers them forever (seq > expected) and the stream wedges.
+  transport_.reset_stream(s);
+  sim().obs().metrics.counter("wan.stream_resets", site()).inc();
+  WK_INFO(now(), name(),
+          "site " + std::to_string(s) + " re-elected (zab epoch " +
+              std::to_string(zab_epoch) + "); stream reset");
+  if (site() != l2_site_ && s == l2_site_) {
+    // The hub's new leader never saw our registration: re-announce our
+    // frontier so it resyncs us (and we re-ship our unacked local txns).
+    registered_ = false;
+    send_register();
+  }
+}
+
 void Broker::wan_tick() {
   if (is_leader()) {
     transport_.retransmit_tick(now(), wan_.retransmit_interval);
@@ -124,13 +174,7 @@ void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
     return;
   }
 
-  // Learn the sender site's current leader for our hints.
-  for (std::size_t s = 0; s < directory_->sites(); ++s) {
-    const auto& servers = directory_->servers_by_site[s];
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-      if (servers[i] == from) leader_hint_[static_cast<SiteId>(s)] = i;
-    }
-  }
+  (void)from;
 
   // WAN traffic is broker-leader business: bounce to the local leader if it
   // landed on a follower (the sender's hint was stale).
@@ -141,8 +185,29 @@ void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
     return;
   }
 
-  // NB: messages may have been bounced through a same-site follower, so
-  // the sender's site must come from the message, never from `from`.
+  // Learn the sender's leadership from the identity every WAN message
+  // carries in-band. The network-level `from` must never be used: a message
+  // bounced through a same-site follower arrives with that follower as the
+  // sender, which is exactly how leader hints used to rot (all traffic then
+  // routes through a stale node and one crash blackholes the site).
+  if (const auto* m = dynamic_cast<const WanEnvelopeMsg*>(msg.get())) {
+    // A frame's stream_epoch IS the sender's zab epoch, so data traffic
+    // triggers the reset as fast as a heartbeat would.
+    observe_peer(m->from_site, m->from_node, m->stream_epoch);
+  } else if (const auto* m = dynamic_cast<const WanAckMsg*>(msg.get())) {
+    // An ack's stream_epoch names *our* stream, not the acker's leadership.
+    observe_peer(m->from_site, m->from_node, /*zab_epoch=*/0);
+  } else if (const auto* m = dynamic_cast<const WanHeartbeatMsg*>(msg.get())) {
+    observe_peer(m->from_site, m->from_node, m->zab_epoch);
+  } else if (const auto* m =
+                 dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get())) {
+    observe_peer(m->from_site, m->from_node, m->zab_epoch);
+  } else if (const auto* m = dynamic_cast<const RegisterMsg*>(msg.get())) {
+    observe_peer(m->from_site, m->from_node, m->zab_epoch);
+  } else if (const auto* m = dynamic_cast<const RegisterOkMsg*>(msg.get())) {
+    observe_peer(m->from_site, m->from_node, m->zab_epoch);
+  }
+
   if (transport_.on_message(kNoSite, msg)) return;
 
   if (const auto* m = dynamic_cast<const WanHeartbeatMsg*>(msg.get())) {
@@ -174,7 +239,7 @@ void Broker::wan_deliver(SiteId from_site, const sim::MessagePtr& inner) {
     return;
   }
   if (const auto* m = dynamic_cast<const ReplicateDownMsg*>(inner.get())) {
-    handle_replicate_down(*m);
+    handle_replicate_down(from_site, *m);
     return;
   }
   if (const auto* m = dynamic_cast<const TokenRecallMsg*>(inner.get())) {
@@ -255,17 +320,45 @@ void Broker::propose_token_return(const std::vector<TokenKey>& keys) {
   propose_envelope(std::move(env), {});
 }
 
-void Broker::handle_replicate_down(const ReplicateDownMsg& m) {
+void Broker::handle_replicate_down(SiteId from_site, const ReplicateDownMsg& m) {
   // No-op on retransmits: the span is already closed.
   sim().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
                            now());
+  auto& metrics = sim().obs().metrics;
+  // Epoch fence: fan-outs from a deposed L2 regime must not be applied
+  // against the new regime's sequence; ones from a newer regime mean we
+  // have not heard the gossip yet — adopt it from the hub itself.
+  if (m.l2_epoch != 0) {
+    if (m.l2_epoch < l2_epoch_) {
+      metrics.counter("resync.stale_l2_dropped", site()).inc();
+      return;
+    }
+    if (m.l2_epoch > l2_epoch_) adopt_l2(from_site, m.l2_epoch);
+  }
   const std::uint64_t g = m.envelope.txn.gseq;
-  if (g <= applied_down_gseq_ || down_proposed_.count(g) != 0) return;
+  // Exactly-once apply per gseq: the per-epoch applied frontier (durable,
+  // derived from applied txns) plus the propose-in-flight set make a resync
+  // racing normal fan-out — or a second resync after a hub leader change —
+  // harmless duplication.
+  if (gseq_applied(g) || down_proposed_.count(g) != 0) {
+    if (m.resync) metrics.counter("resync.dedup_dropped", site()).inc();
+    return;
+  }
+  if (m.resync) {
+    metrics.counter("resync.applied", site()).inc();
+    sim().obs().tracer.close(m.resync_trace, obs::SpanKind::kWanHop, site(),
+                             now());
+  }
   down_proposed_.insert(g);
   ++bstats_.replicate_down;
   zk::Envelope env = m.envelope;
   env.txn.zxid = kNoZxid;  // the local zab assigns a fresh zxid
   propose_envelope(std::move(env), {});
+  if (m.resync) {
+    // Recovery fault point: a resynced txn is proposed locally but not yet
+    // applied — crash here models a site dying mid-resync.
+    sim().faults().fire("wk.resync_apply", name());
+  }
 }
 
 void Broker::handle_wan_request_error(const WanRequestErrorMsg& m) {
@@ -275,14 +368,20 @@ void Broker::handle_wan_request_error(const WanRequestErrorMsg& m) {
 void Broker::send_register() {
   auto m = std::make_shared<RegisterMsg>();
   m->from_site = site();
+  m->from_node = id();
   m->zab_epoch = peer()->current_epoch();
-  m->down_frontier = applied_down_gseq_;
+  m->down_frontiers = down_frontier_vector();
   m->owned_tokens = site_tokens_.owned_keys();
   raw_send_to_site(l2_site_, std::move(m));
+  sim().obs().metrics.counter("resync.registers_sent", site()).inc();
+  // Recovery fault point: the frontier announcement is on the wire; crash
+  // here models a leader dying between registering and being resynced.
+  sim().faults().fire("wk.register_sent", name());
 }
 
 void Broker::handle_register_ok(const RegisterOkMsg& m) {
   adopt_l2(m.l2_site, m.l2_epoch);
+  if (m.l2_site != l2_site_ || m.l2_epoch != l2_epoch_) return;  // stale hub
   registered_ = true;
   l2_last_heard_ = now();
   resend_local_origin_after(m.up_frontier);
@@ -309,6 +408,53 @@ void Broker::resend_local_origin_after(Zxid up_frontier) {
   }
 }
 
+// --------------------------------------------------- gseq frontier accounting
+
+void Broker::note_gseq_applied(std::uint64_t gseq) {
+  auto& f = applied_down_by_epoch_[gseq_epoch(gseq)];
+  const std::uint64_t c = gseq_counter(gseq);
+  if (c <= f.cum) return;
+  if (c == f.cum + 1) {
+    f.cum = c;
+    // Drain any sparse counters the advancing prefix now covers.
+    auto it = f.sparse.begin();
+    while (it != f.sparse.end() && *it == f.cum + 1) {
+      f.cum = *it;
+      it = f.sparse.erase(it);
+    }
+  } else {
+    f.sparse.insert(c);
+  }
+}
+
+bool Broker::gseq_applied(std::uint64_t gseq) const {
+  const auto it = applied_down_by_epoch_.find(gseq_epoch(gseq));
+  if (it == applied_down_by_epoch_.end()) return false;
+  const std::uint64_t c = gseq_counter(gseq);
+  return c <= it->second.cum || it->second.sparse.count(c) != 0;
+}
+
+std::vector<GseqFrontier> Broker::down_frontier_vector() const {
+  std::vector<GseqFrontier> v;
+  v.reserve(applied_down_by_epoch_.size());
+  for (const auto& [epoch, f] : applied_down_by_epoch_) {
+    v.push_back({epoch, f.cum});
+  }
+  return v;
+}
+
+bool Broker::frontier_behind(const std::vector<GseqFrontier>& theirs) const {
+  for (const auto& [epoch, f] : applied_down_by_epoch_) {
+    if (f.cum == 0) continue;
+    std::uint64_t their_cum = 0;
+    for (const auto& t : theirs) {
+      if (t.epoch == epoch) their_cum = t.counter;
+    }
+    if (their_cum < f.cum) return true;
+  }
+  return false;
+}
+
 // --------------------------------------------------- apply-side mirrors
 
 void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
@@ -323,8 +469,11 @@ void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
   }
 
   // Replication frontiers.
-  if (txn.gseq > applied_down_gseq_) applied_down_gseq_ = txn.gseq;
-  down_proposed_.erase(txn.gseq);
+  if (txn.gseq != 0) {
+    if (txn.gseq > applied_down_gseq_) applied_down_gseq_ = txn.gseq;
+    note_gseq_applied(txn.gseq);
+    down_proposed_.erase(txn.gseq);
+  }
   if (txn.origin_zxid != kNoZxid && txn.origin_site != kNoSite) {
     auto& f = up_frontier_[txn.origin_site];
     f = std::max(f, txn.origin_zxid);

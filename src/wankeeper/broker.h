@@ -63,6 +63,11 @@ struct WanOptions {
   // stops queueing fan-outs for the site (it is unreachable) and relies on
   // the gseq-frontier resync when it reconnects.
   std::size_t max_site_backlog = 512;
+  // Minimum spacing between resync rounds to one site. A round ships
+  // everything above the site's contiguous frontier, and the refill needs a
+  // WAN round trip plus apply time to move that frontier; re-shipping every
+  // heartbeat until then would only manufacture dedup-dropped duplicates.
+  Time resync_min_interval = 2 * kSecond;
   // WAN frame coalescing (default off: one message per frame). With
   // batch.max_msgs > 1, grants/recalls, replicate-downs, and forwards
   // headed to the same site share frames.
@@ -99,6 +104,9 @@ class Broker : public zk::Server {
   const BrokerStats& broker_stats() const { return bstats_; }
   const WanTransport& transport() const { return transport_; }
   std::uint64_t applied_down_gseq() const { return applied_down_gseq_; }
+  std::vector<GseqFrontier> applied_down_frontiers() const {
+    return down_frontier_vector();
+  }
 
   // Bench/test hook: pre-place tokens at a site (the paper's "WK Hot"
   // configuration in Fig 6). Only effective on the acting L2 broker.
@@ -129,6 +137,25 @@ class Broker : public zk::Server {
   void raw_send_to_site(SiteId dest, sim::MessagePtr frame);
   void wan_deliver(SiteId from_site, const sim::MessagePtr& inner);
   void wan_tick();
+  // Every WAN message carries the sender's leader identity and zab epoch
+  // in-band (the network-level sender may be a bouncing follower). A zab
+  // epoch bump means the peer site's old leadership — and both directions
+  // of its WAN streams — are dead: reset our outgoing stream and, if the
+  // peer is the L2 site, re-register to re-announce our frontier.
+  void observe_peer(SiteId s, NodeId leader_node, std::uint32_t zab_epoch);
+  void learn_leader_hint(SiteId s, NodeId node);
+
+  // ---- gseq frontier accounting (broker.cpp) ----
+  // Derived purely from applied txns, like the other durable mirrors:
+  // per L2 epoch, the contiguously applied counter prefix plus the sparse
+  // set applied above a hole (holes come from fan-out shedding and lost
+  // streams; resync fills them from the contiguous frontier).
+  void note_gseq_applied(std::uint64_t gseq);
+  bool gseq_applied(std::uint64_t gseq) const;
+  std::vector<GseqFrontier> down_frontier_vector() const;
+  // True when our applied frontier exceeds `theirs` in any epoch (the L2
+  // uses this to decide a site needs a resync).
+  bool frontier_behind(const std::vector<GseqFrontier>& theirs) const;
 
   // ---- L1 side (broker.cpp) ----
   bool tokens_held_locally(const std::vector<TokenKey>& keys) const;
@@ -136,7 +163,7 @@ class Broker : public zk::Server {
   void forward_to_l2(const zk::ClientRequest& req, NodeId origin_server);
   void handle_token_recall(const TokenRecallMsg& m);
   void propose_token_return(const std::vector<TokenKey>& keys);
-  void handle_replicate_down(const ReplicateDownMsg& m);
+  void handle_replicate_down(SiteId from_site, const ReplicateDownMsg& m);
   void handle_register_ok(const RegisterOkMsg& m);
   void handle_wan_request_error(const WanRequestErrorMsg& m);
   void send_register();
@@ -153,7 +180,9 @@ class Broker : public zk::Server {
   void l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner);
   void l2_serve_unparked(std::vector<PendingRemote> ready);
   void l2_fan_out(const zk::Envelope& env);
-  void l2_resync_site(SiteId site, std::uint64_t from_gseq);
+  void l2_send_down(SiteId dest, const zk::Envelope& env, bool resync,
+                    obs::TraceId resync_trace);
+  void l2_resync_site(SiteId site, const std::vector<GseqFrontier>& frontiers);
   void l2_reclaim_dead_site_tokens();
   std::uint64_t next_gseq();
 
@@ -182,6 +211,15 @@ class Broker : public zk::Server {
   std::map<SiteId, Zxid> up_frontier_;      // per-site applied origin zxids
   std::uint64_t applied_down_gseq_ = 0;     // highest L2 gseq applied here
   std::uint64_t gseq_counter_ = 0;          // L2: counter within l2_epoch_
+  // Per-L2-epoch applied frontier: cum = contiguous prefix of counters
+  // applied, sparse = counters applied above a hole. Together they answer
+  // gseq_applied() exactly, making resync idempotent (exactly-once apply
+  // per gseq), while cum alone is what a resync request announces.
+  struct AppliedFrontier {
+    std::uint64_t cum = 0;
+    std::set<std::uint64_t> sparse;
+  };
+  std::map<std::uint32_t, AppliedFrontier> applied_down_by_epoch_;
 
   // Volatile state (cleared on crash).
   WanTransport transport_;
@@ -192,8 +230,10 @@ class Broker : public zk::Server {
   std::set<TokenKey> l2_pending_grants_;    // grant proposed, not yet applied
   std::map<SiteId, Time> site_last_heard_;
   std::map<SiteId, std::vector<SessionId>> wan_live_sessions_;
-  std::map<SiteId, std::uint64_t> site_down_frontier_;
+  std::map<SiteId, std::vector<GseqFrontier>> site_frontiers_;
+  std::map<SiteId, Time> resync_sent_at_;  // L2: per-site round cooldown
   std::map<SiteId, std::size_t> leader_hint_;
+  std::map<SiteId, std::uint32_t> peer_zab_epoch_;  // last observed per site
   std::map<TokenKey, Time> recall_sent_;  // L2: recall RTT measurement
   Time l2_last_heard_ = 0;
   bool registered_ = false;

@@ -21,8 +21,10 @@ void Broker::heartbeat_tick() {
       if (dest == site()) continue;
       auto m = std::make_shared<WanHeartbeatMsg>();
       m->from_site = site();
+      m->from_node = id();
+      m->zab_epoch = peer()->current_epoch();
       m->live_sessions = live;
-      m->down_frontier = applied_down_gseq_;
+      m->down_frontiers = down_frontier_vector();
       m->l2_site = l2_site_;
       m->l2_epoch = l2_epoch_;
       raw_send_to_site(dest, std::move(m));
@@ -37,22 +39,38 @@ void Broker::heartbeat_tick() {
 void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
   site_last_heard_[from_site] = now();
   wan_live_sessions_[from_site] = m.live_sessions;
-  site_down_frontier_[from_site] = m.down_frontier;
+  const bool stagnant = [&] {
+    const auto it = site_frontiers_.find(from_site);
+    return it != site_frontiers_.end() && it->second == m.down_frontiers;
+  }();
+  site_frontiers_[from_site] = m.down_frontiers;
   adopt_l2(m.l2_site, m.l2_epoch);
   if (from_site == l2_site_) l2_last_heard_ = now();
 
   if (l2_role()) {
     // Keep the piggybacked sessions alive in our expiry tracker.
     touch_sessions(m.live_sessions);
-    // Frontier gap with an idle stream: the site missed fan-outs under a
-    // previous leadership; re-ship from its frontier.
-    if (m.down_frontier < applied_down_gseq_ && transport_.unacked(from_site) == 0) {
-      l2_resync_site(from_site, m.down_frontier);
+    // The site missed fan-outs (lost stream, shed backlog, an old-epoch
+    // hole); re-ship above its contiguous frontier. Resync when the stream
+    // is idle, or when the announced frontier is behind AND did not move
+    // over a whole heartbeat interval: under sustained load the stream is
+    // never idle (new fan-outs keep it busy and the backlog cap keeps
+    // shedding), yet a frozen frontier means a hole that in-flight traffic
+    // will never fill. The cooldown gives each round a chance to land
+    // before the next one re-ships the same range.
+    const auto sent = resync_sent_at_.find(from_site);
+    const bool cooled = sent == resync_sent_at_.end() ||
+                        now() - sent->second >= wan_.resync_min_interval;
+    if (frontier_behind(m.down_frontiers) && cooled &&
+        (transport_.unacked(from_site) == 0 || stagnant)) {
+      l2_resync_site(from_site, m.down_frontiers);
     }
   }
 
   auto reply = std::make_shared<WanHeartbeatReplyMsg>();
   reply->from_site = site();
+  reply->from_node = id();
+  reply->zab_epoch = peer()->current_epoch();
   reply->up_frontier = [&] {
     const auto it = up_frontier_.find(from_site);
     return it == up_frontier_.end() ? kNoZxid : it->second;
@@ -92,6 +110,15 @@ bool Broker::site_alive(SiteId s) const {
 void Broker::consider_l2_failover() {
   if (!wan_.enable_l2_failover || site() == l2_site_) return;
   if (now() - l2_last_heard_ <= wan_.l2_failover_timeout) return;
+  // A cut-off site sees *every* site silent, not just L2. If it promoted
+  // itself it would run a second hub — granting tokens and stamping gseqs
+  // the real L2 still owns — so require contact with a majority of all
+  // sites (self included) before claiming the role.
+  std::size_t alive = 0;
+  for (std::size_t s = 0; s < directory_->sites(); ++s) {
+    if (site_alive(static_cast<SiteId>(s))) ++alive;
+  }
+  if (alive * 2 <= directory_->sites()) return;
   // The L2 site has gone silent. Deterministic promotion: the lowest alive
   // site id takes over; everyone converges on the same choice via the
   // epoch-stamped gossip in heartbeats.

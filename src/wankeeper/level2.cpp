@@ -8,17 +8,12 @@
 
 namespace wankeeper::wk {
 
-namespace {
-constexpr int kGseqEpochShift = 40;
-}
-
 std::uint64_t Broker::next_gseq() {
-  if (gseq_counter_ == 0 &&
-      (applied_down_gseq_ >> kGseqEpochShift) == l2_epoch_) {
+  if (gseq_counter_ == 0 && gseq_epoch(applied_down_gseq_) == l2_epoch_) {
     // Fresh leadership in the same L2 epoch: resume after the applied max.
-    gseq_counter_ = applied_down_gseq_ & ((1ULL << kGseqEpochShift) - 1);
+    gseq_counter_ = gseq_counter(applied_down_gseq_);
   }
-  return (static_cast<std::uint64_t>(l2_epoch_) << kGseqEpochShift) | ++gseq_counter_;
+  return make_gseq(l2_epoch_, ++gseq_counter_);
 }
 
 void Broker::handle_wan_forward(SiteId from_site, const WanForwardMsg& m) {
@@ -75,7 +70,7 @@ void Broker::handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m) {
 void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   if (!l2_role()) return;  // stale: the sender will adopt the real L2 via gossip
   site_last_heard_[from_site] = now();
-  site_down_frontier_[from_site] = m.down_frontier;
+  site_frontiers_[from_site] = m.down_frontiers;
 
   // Reconcile token ownership the site claims but our mirror lost (possible
   // across L2 failovers): re-grant through the log so every replica agrees.
@@ -86,6 +81,9 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   if (!repair.empty()) l2_propose_grant(repair, from_site);
 
   auto reply = std::make_shared<RegisterOkMsg>();
+  reply->from_site = site();
+  reply->from_node = id();
+  reply->zab_epoch = peer()->current_epoch();
   reply->up_frontier = [&] {
     const auto it = up_frontier_.find(from_site);
     return it == up_frontier_.end() ? kNoZxid : it->second;
@@ -94,7 +92,7 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   reply->l2_epoch = l2_epoch_;
   raw_send_to_site(from_site, std::move(reply));
 
-  l2_resync_site(from_site, m.down_frontier);
+  l2_resync_site(from_site, m.down_frontiers);
 }
 
 void Broker::l2_propose_remote(const zk::Envelope& env) {
@@ -213,6 +211,10 @@ void Broker::l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee)
   env.txn.paths = keys;
   env.txn.origin_site = grantee;
   propose_envelope(std::move(env), {});
+  // Recovery fault point: a grant is proposed but its marker not yet
+  // committed — crash here models the hub dying with a grant in flight
+  // during a leader change.
+  sim().faults().fire("wk.grant_proposed", name());
 }
 
 void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
@@ -235,13 +237,41 @@ void Broker::l2_serve_unparked(std::vector<PendingRemote> ready) {
   }
 }
 
+// One fan-out leg. A replicated-up txn already lives at its origin site in
+// full, but the origin still has to learn the *gseq* the hub stamped on it —
+// otherwise its per-epoch applied frontier keeps a permanent hole there and
+// every later resync decision is poisoned. So instead of skipping the origin
+// we ship a stub: gseq kept, payload stripped to a noop, client routing
+// cleared. The stub applies through the origin's zab like any fan-out, which
+// is exactly what makes its frontier a pure function of applied txns.
+void Broker::l2_send_down(SiteId dest, const zk::Envelope& env, bool resync,
+                          obs::TraceId resync_trace) {
+  auto m = std::make_shared<ReplicateDownMsg>();
+  m->envelope = env;
+  m->l2_epoch = gseq_epoch(env.txn.gseq);
+  m->resync = resync;
+  m->resync_trace = resync_trace;
+  if (env.txn.origin_zxid != kNoZxid && dest == env.txn.origin_site) {
+    store::Txn stub;
+    stub.type = store::TxnType::kNoop;
+    stub.gseq = env.txn.gseq;
+    stub.origin_site = env.txn.origin_site;
+    // Keeping origin_zxid lets the origin later re-join this gseq with its
+    // own gseq-0 log entry if it ever becomes the hub (see l2_resync_site).
+    stub.origin_zxid = env.txn.origin_zxid;
+    m->envelope.txn = std::move(stub);
+    m->envelope.session = kNoSession;
+    m->envelope.xid = 0;
+    m->envelope.trace = obs::kNoTrace;
+  }
+  transport_.send(dest, std::move(m));
+}
+
 void Broker::l2_fan_out(const zk::Envelope& env) {
   const store::Txn& txn = env.txn;
   for (std::size_t s = 0; s < directory_->sites(); ++s) {
     const SiteId dest = static_cast<SiteId>(s);
     if (dest == site()) continue;
-    // A replicated-up txn already lives at its origin site.
-    if (txn.origin_zxid != kNoZxid && dest == txn.origin_site) continue;
     // Shed load for unreachable sites: an unbounded backlog would take
     // minutes to drain after a long partition, whereas the frontier-based
     // resync replays the gap from the log in one burst on reconnect.
@@ -251,44 +281,88 @@ void Broker::l2_fan_out(const zk::Envelope& env) {
     }
     // Trace only the hop back to the request's origin site (where the
     // client is waiting); the other fan-out legs are not on its path.
-    if (dest == txn.origin_site) {
+    if (dest == txn.origin_site && txn.origin_zxid == kNoZxid) {
       sim().obs().tracer.open(env.trace, obs::SpanKind::kWanHop, dest, name(),
                               now(),
                               "site " + std::to_string(site()) + " -> site " +
                                   std::to_string(dest) + " (down)");
     }
-    auto m = std::make_shared<ReplicateDownMsg>();
-    m->envelope = env;
-    transport_.send(dest, std::move(m));
+    l2_send_down(dest, env, /*resync=*/false, obs::kNoTrace);
   }
 }
 
-void Broker::l2_resync_site(SiteId dest, std::uint64_t from_gseq) {
+void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& frontiers) {
   // Re-ship committed L2-sequenced txns the site is missing (frames lost to
-  // leadership changes on either end). Log order == gseq order.
+  // leadership changes on either end, or shed fan-outs). The site announces
+  // its contiguously-applied counter per L2 epoch; anything above that is
+  // re-shipped — per-gseq dedup at the receiver makes over-shipping (of the
+  // sparse counters it does hold above a hole) harmless. Because the hub's
+  // committed gseqs are contiguous from 1 within each epoch, this closes
+  // every hole in one round. Log order == gseq order.
+  std::map<std::uint32_t, std::uint64_t> have;  // epoch -> contiguous counter
+  for (const auto& f : frontiers) have[f.epoch] = f.counter;
   const auto& log = peer()->log();
+  // Local-origin commits pass through our log with gseq 0; the gseq the old
+  // hub stamped on them came back only as a noop stub (keyed by our zxid).
+  // Track the gseq-0 entries so a stub further down the log can be expanded
+  // back into the full transaction when the destination is missing it.
+  std::map<Zxid, std::size_t> own_origin;  // our zxid -> log index
   std::uint64_t shipped = 0;
+  obs::TraceId trace = obs::kNoTrace;
   for (std::size_t i = 0; i < log.size(); ++i) {
     const auto& entry = log.at(i);
     if (entry.zxid > peer()->last_delivered()) break;
     zk::Envelope env = zk::Envelope::decode(entry.payload);
-    const store::Txn& txn = env.txn;
-    if (txn.gseq == 0 || txn.gseq <= from_gseq) continue;
-    if (txn.type == store::TxnType::kNoop || txn.type == store::TxnType::kError) {
+    if (env.txn.gseq == 0) {
+      if (env.txn.origin_site == site() &&
+          env.txn.type != store::TxnType::kNoop &&
+          env.txn.type != store::TxnType::kError) {
+        own_origin[entry.zxid] = i;
+      }
       continue;
     }
-    if (txn.origin_zxid != kNoZxid && dest == txn.origin_site) continue;
+    if (env.txn.type == store::TxnType::kNoop) {
+      // A stub from a past regime in which we were an L1 origin: expand it
+      // from our own log entry so the destination gets the real payload.
+      const auto oi = env.txn.origin_site == site()
+                          ? own_origin.find(env.txn.origin_zxid)
+                          : own_origin.end();
+      if (oi == own_origin.end()) continue;
+      const std::uint64_t g = env.txn.gseq;
+      env = zk::Envelope::decode(log.at(oi->second).payload);
+      env.txn.gseq = g;
+      env.txn.origin_zxid = log.at(oi->second).zxid;
+      env.session = kNoSession;
+      env.xid = 0;
+      env.trace = obs::kNoTrace;
+    }
+    if (env.txn.type == store::TxnType::kError) continue;
+    const auto it = have.find(gseq_epoch(env.txn.gseq));
+    if (it != have.end() && gseq_counter(env.txn.gseq) <= it->second) continue;
+    if (trace == obs::kNoTrace) {
+      // One trace per resync round: a span per shipped txn would drown the
+      // recorder; the round-level span still shows ship -> first apply.
+      trace = sim().obs().tracer.begin("resync", site(), now());
+      sim().obs().tracer.open(trace, obs::SpanKind::kWanHop, dest, name(),
+                              now(),
+                              "resync site " + std::to_string(site()) +
+                                  " -> site " + std::to_string(dest));
+    }
     env.txn.zxid = entry.zxid;
-    auto m = std::make_shared<ReplicateDownMsg>();
-    m->envelope = std::move(env);
-    transport_.send(dest, std::move(m));
+    l2_send_down(dest, env, /*resync=*/true, trace);
     ++shipped;
   }
   if (shipped > 0) {
+    resync_sent_at_[dest] = now();
+    sim().obs().metrics.counter("resync.rounds", site()).inc();
+    sim().obs().metrics.counter("resync.txns_shipped", site()).inc(shipped);
     WK_INFO(now(), name(),
             "resynced site " + std::to_string(dest) + " with " +
-                std::to_string(shipped) + " txns after gseq " +
-                std::to_string(from_gseq));
+                std::to_string(shipped) + " txn(s)");
+    // Recovery fault point: the resync burst is on the wire but nothing is
+    // confirmed applied — crash here models the hub dying right after a
+    // resync request was served.
+    sim().faults().fire("wk.resync_sent", name());
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/message.h"
 #include "store/txn.h"
 #include "wankeeper/token.h"
@@ -17,13 +18,43 @@
 
 namespace wankeeper::wk {
 
+// Global sequence numbers encode (l2_epoch, counter): the epoch in the high
+// bits so numeric order follows regime order, the per-epoch counter below.
+constexpr int kGseqEpochShift = 40;
+constexpr std::uint64_t kGseqCounterMask = (1ULL << kGseqEpochShift) - 1;
+inline std::uint32_t gseq_epoch(std::uint64_t g) {
+  return static_cast<std::uint32_t>(g >> kGseqEpochShift);
+}
+inline std::uint64_t gseq_counter(std::uint64_t g) { return g & kGseqCounterMask; }
+inline std::uint64_t make_gseq(std::uint32_t epoch, std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(epoch) << kGseqEpochShift) | counter;
+}
+
+// Per-L2-epoch replication frontier: `counter` is the highest gseq counter
+// applied *contiguously* from epoch `epoch` (gseq = epoch << 40 | counter).
+// A site's down-frontier is a vector of these, one per L2 epoch it has seen,
+// so a resync after an L2 failover can re-ship holes left in an *older*
+// epoch — a single numeric-max frontier cannot express those (the epoch
+// occupies the high bits, so any new-epoch gseq compares above every
+// old-epoch one).
+struct GseqFrontier {
+  std::uint32_t epoch = 0;
+  std::uint64_t counter = 0;
+
+  friend bool operator==(const GseqFrontier& a, const GseqFrontier& b) {
+    return a.epoch == b.epoch && a.counter == b.counter;
+  }
+};
+
 // --- transport framing ---
 
 // One frame carries one or more protocol messages with consecutive
 // sequence numbers (coalescing); inners[i] has sequence seq + i.
 struct WanEnvelopeMsg : sim::Message {
   SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;      // sending leader, for receiver leader hints
   std::uint32_t stream_epoch = 0;  // sender's zab epoch: new leader, new stream
+  std::uint32_t stream_gen = 0;    // bumped when the sender restarts the stream
   std::uint64_t seq = 0;           // FIFO sequence of inners.front()
   std::vector<sim::MessagePtr> inners;
   std::uint64_t last_seq() const { return seq + inners.size() - 1; }
@@ -37,7 +68,9 @@ struct WanEnvelopeMsg : sim::Message {
 
 struct WanAckMsg : sim::Message {
   SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;
   std::uint32_t stream_epoch = 0;  // epoch of the stream being acked
+  std::uint32_t stream_gen = 0;    // generation of the stream being acked
   std::uint64_t cumulative = 0;    // everything <= cumulative received
   const char* name() const override { return "wk.ack"; }
 };
@@ -49,8 +82,9 @@ struct WanAckMsg : sim::Message {
 // both ends can resynchronize.
 struct RegisterMsg : sim::Message {
   SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;  // the (re)elected leader announcing itself
   std::uint32_t zab_epoch = 0;
-  std::uint64_t down_frontier = 0;  // highest applied L2 gseq at this site
+  std::vector<GseqFrontier> down_frontiers;  // contiguously applied, per epoch
   std::vector<TokenKey> owned_tokens;
   const char* name() const override { return "wk.register"; }
 };
@@ -81,8 +115,10 @@ struct ReplicateUpMsg : sim::Message {
 // + L2 identity gossip used for failover.
 struct WanHeartbeatMsg : sim::Message {
   SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;
+  std::uint32_t zab_epoch = 0;  // sender leadership; a bump resets WAN streams
   std::vector<SessionId> live_sessions;
-  std::uint64_t down_frontier = 0;
+  std::vector<GseqFrontier> down_frontiers;
   SiteId l2_site = kNoSite;
   std::uint32_t l2_epoch = 0;
   const char* name() const override { return "wk.heartbeat"; }
@@ -91,6 +127,9 @@ struct WanHeartbeatMsg : sim::Message {
 // --- L2 -> L1 ---
 
 struct RegisterOkMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;
+  std::uint32_t zab_epoch = 0;
   Zxid up_frontier = kNoZxid;  // highest origin zxid L2 applied from you
   SiteId l2_site = kNoSite;
   std::uint32_t l2_epoch = 0;
@@ -98,8 +137,15 @@ struct RegisterOkMsg : sim::Message {
 };
 
 // A globally sequenced transaction fanned out to a site (step 10 of Fig 2).
+// Epoch-tagged: a receiver drops fan-outs from a deposed L2 regime instead
+// of applying them against the new regime's sequence. `resync` marks
+// re-shipments from l2_resync_site (metrics + trace bookkeeping only; the
+// dedup path is identical either way, which is what makes resync idempotent).
 struct ReplicateDownMsg : sim::Message {
   zk::Envelope envelope;  // txn.gseq orders it; session/xid route the reply
+  std::uint32_t l2_epoch = 0;
+  bool resync = false;
+  obs::TraceId resync_trace = obs::kNoTrace;  // span: resync ship -> apply
   std::size_t wire_size() const override {
     return 64 + envelope.txn.path.size() + envelope.txn.data.size();
   }
@@ -124,6 +170,8 @@ struct WanRequestErrorMsg : sim::Message {
 
 struct WanHeartbeatReplyMsg : sim::Message {
   SiteId from_site = kNoSite;
+  NodeId from_node = kNoNode;
+  std::uint32_t zab_epoch = 0;
   Zxid up_frontier = kNoZxid;
   SiteId l2_site = kNoSite;
   std::uint32_t l2_epoch = 0;

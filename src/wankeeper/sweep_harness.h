@@ -1,0 +1,123 @@
+// Shared crash-sweep harness: a loaded three-site deployment driven through
+// a seed-derived schedule of node crashes, then quiesced and checked for
+// token safety and cross-site convergence. One definition serves the gtest
+// failure sweeps (tests/test_failures.cpp), the recovery fault-injection
+// tests (tests/test_recovery.cpp), and the CI seed hunter (tools/seed_hunt)
+// so "seed N failed" means the same schedule everywhere.
+//
+// Header-only and gtest-free on purpose: the callers assert on SweepResult
+// with whatever reporting they have (EXPECT_*, exit codes, artifacts).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/failure.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "wankeeper/deployment.h"
+
+namespace wankeeper::wk {
+
+struct LoadedDeployment {
+  sim::Simulator sim;
+  sim::Network net;
+  TokenAuditor audit;
+  Deployment deploy;
+  std::vector<std::unique_ptr<zk::Client>> clients;
+  std::vector<std::uint64_t> completed;
+  bool stop = false;
+
+  explicit LoadedDeployment(std::uint64_t seed, DeploymentConfig cfg = {})
+      : sim(seed), net(sim, sim::LatencyModel::paper_wan()),
+        deploy(sim, net, cfg, &audit) {}
+
+  void start_load() {
+    auto setup = deploy.make_client("setup", 0, 50);
+    sim.run_for(500 * kMillisecond);
+    int created = 0;
+    for (int k = 0; k < 10; ++k) {
+      setup->create("/k" + std::to_string(k), "0", false, false,
+                    [&](const zk::ClientResult&) { ++created; });
+    }
+    sim.run_for(5 * kSecond);
+
+    completed.assign(3, 0);
+    for (int i = 0; i < 3; ++i) {
+      clients.push_back(deploy.make_client("c" + std::to_string(i),
+                                           static_cast<SiteId>(i), 1000 + i));
+    }
+    sim.run_for(1 * kSecond);
+    for (int i = 0; i < 3; ++i) issue(i);
+  }
+
+  void issue(int i) {
+    if (stop) return;
+    auto& rng = sim.rng();
+    const std::string path = "/k" + std::to_string(rng.uniform(10));
+    clients[static_cast<std::size_t>(i)]->set_data(
+        path, "v", -1, [this, i](const zk::ClientResult& r) {
+          if (r.ok()) ++completed[static_cast<std::size_t>(i)];
+          if (r.rc == store::Rc::kSessionExpired) {
+            // The WAN heartbeater expired us while our site was cut off;
+            // do what a real client does and start a fresh session.
+            clients[static_cast<std::size_t>(i)]->reconnect();
+          }
+          issue(i);  // retry/continue regardless of rc
+        });
+  }
+};
+
+struct SweepResult {
+  bool audit_clean = false;
+  std::string first_violation;
+  bool converged = false;
+  std::uint64_t completed_total = 0;
+
+  bool ok() const { return audit_clean && converged && completed_total > 100; }
+};
+
+// The canonical crash schedule for `seed`: four random single-node crashes
+// (network endpoint + co-located zab peer) with 5 s restarts over ~a minute
+// of cross-site write load, then a 20 s quiesce.
+inline SweepResult run_crash_sweep_on(LoadedDeployment& d, std::uint64_t seed) {
+  d.start_load();
+
+  Rng schedule(seed * 97);
+  for (int i = 0; i < 4; ++i) {
+    const Time when = d.sim.now() + 5 * kSecond + static_cast<Time>(
+                          schedule.uniform(10 * kSecond));
+    const SiteId site = static_cast<SiteId>(schedule.uniform(3));
+    const std::size_t node = schedule.uniform(3);
+    sim::FailureInjector inject(d.net);
+    inject.crash_at(when, d.deploy.site_ensemble(site).server_id(node),
+                    5 * kSecond);
+    // The co-located zab peer shares the fate of its server.
+    d.sim.at(when, [&d, site, node]() {
+      d.deploy.site_ensemble(site).peer(node).crash();
+    });
+    d.sim.at(when + 5 * kSecond, [&d, site, node]() {
+      d.deploy.site_ensemble(site).peer(node).restart();
+    });
+    d.sim.run_for(12 * kSecond);
+  }
+  d.stop = true;
+  d.sim.run_for(20 * kSecond);  // quiesce
+
+  SweepResult r;
+  r.audit_clean = d.audit.clean();
+  if (!d.audit.violations().empty()) r.first_violation = d.audit.violations().front();
+  r.converged = d.deploy.converged();
+  r.completed_total = d.completed[0] + d.completed[1] + d.completed[2];
+  return r;
+}
+
+inline SweepResult run_crash_sweep(std::uint64_t seed, bool batching) {
+  DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  LoadedDeployment d(seed, cfg);
+  return run_crash_sweep_on(d, seed);
+}
+
+}  // namespace wankeeper::wk

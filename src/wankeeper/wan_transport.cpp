@@ -15,6 +15,17 @@ void WanTransport::open_streams(std::uint32_t stream_epoch) {
   out_.clear();  // drops in-flight frames AND partial batches of the old epoch
 }
 
+std::uint32_t WanTransport::stream_gen(SiteId dest) const {
+  const auto it = gen_.find(dest);
+  return it == gen_.end() ? 1 : it->second;
+}
+
+void WanTransport::reset_stream(SiteId dest) {
+  gen_[dest] = stream_gen(dest) + 1;
+  out_.erase(dest);
+  ++stream_resets_;
+}
+
 void WanTransport::send(SiteId dest, sim::MessagePtr inner) {
   auto& stream = out_[dest];
   if (stream.pending.empty()) stream.pending_first_seq = stream.next_seq;
@@ -42,7 +53,9 @@ void WanTransport::flush_stream(SiteId dest, OutStream& stream) {
   if (stream.pending.empty()) return;
   auto frame = std::make_shared<WanEnvelopeMsg>();
   frame->from_site = my_site_;
+  frame->from_node = from_node_;
   frame->stream_epoch = epoch_;
+  frame->stream_gen = stream_gen(dest);
   frame->seq = stream.pending_first_seq;
   frame->inners = std::move(stream.pending);
   stream.pending.clear();
@@ -70,9 +83,16 @@ bool WanTransport::on_message(SiteId implied_from, const sim::MessagePtr& msg) {
 
 void WanTransport::handle_envelope(const WanEnvelopeMsg& m) {
   auto& stream = in_[m.from_site];
-  if (m.stream_epoch < stream.epoch) return;  // frame from a dead leadership
-  if (m.stream_epoch > stream.epoch) {
+  // Streams are ordered by (epoch, gen); a frame from an older pair is from
+  // a dead leadership or an abandoned generation.
+  if (m.stream_epoch < stream.epoch ||
+      (m.stream_epoch == stream.epoch && m.stream_gen < stream.gen)) {
+    return;
+  }
+  if (m.stream_epoch > stream.epoch ||
+      (m.stream_epoch == stream.epoch && m.stream_gen > stream.gen)) {
     stream.epoch = m.stream_epoch;
+    stream.gen = m.stream_gen;
     stream.expected = 1;
     stream.buffer.clear();
   }
@@ -91,13 +111,17 @@ void WanTransport::handle_envelope(const WanEnvelopeMsg& m) {
   // stops resending).
   auto ack = std::make_shared<WanAckMsg>();
   ack->from_site = my_site_;
+  ack->from_node = from_node_;
   ack->stream_epoch = stream.epoch;
+  ack->stream_gen = stream.gen;
   ack->cumulative = stream.expected - 1;
   raw_send_(m.from_site, std::move(ack));
 }
 
 void WanTransport::handle_ack(const WanAckMsg& m) {
-  if (m.stream_epoch != epoch_) return;
+  if (m.stream_epoch != epoch_ || m.stream_gen != stream_gen(m.from_site)) {
+    return;  // ack for a dead stream; its frames are already abandoned
+  }
   auto it = out_.find(m.from_site);
   if (it == out_.end()) return;
   auto& stream = it->second;
@@ -142,6 +166,7 @@ std::size_t WanTransport::unacked(SiteId dest) const {
 void WanTransport::reset() {
   out_.clear();
   in_.clear();
+  gen_.clear();
 }
 
 }  // namespace wankeeper::wk

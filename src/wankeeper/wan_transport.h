@@ -7,6 +7,17 @@
 // fresh stream; messages of dead streams are dropped and their content is
 // re-derived by the registration/frontier resync protocol one level up.
 //
+// Streams are identified by (stream_epoch, stream_gen), compared
+// lexicographically. The epoch is the sender's zab epoch (new leadership =
+// new stream). The generation handles the mirror-image failure: when the
+// *receiver's* leadership changes, its in-stream state (expected seq) is
+// gone while the sender keeps transmitting mid-stream sequence numbers —
+// without a reset those frames buffer forever and the stream wedges. The
+// sender learns of the receiver's new leadership from the zab epoch
+// gossiped in WAN heartbeats/registration and calls reset_stream(dest),
+// which abandons the old in-flight frames under a bumped generation; the
+// receiver accepts the higher (epoch, gen) pair and restarts from seq 1.
+//
 // Frame coalescing: with batch.max_msgs > 1, consecutive messages to the
 // same destination share one WanEnvelopeMsg frame (each inner keeps its own
 // sequence number). A partial batch is flushed when it reaches max_msgs or
@@ -58,10 +69,22 @@ class WanTransport {
 
   void set_frame_observer(FrameObserver cb) { on_frame_ = std::move(cb); }
 
+  // Identity stamped into every frame/ack so receivers can learn which node
+  // currently leads this site (frames may reach them bounced via followers).
+  void set_from_node(NodeId node) { from_node_ = node; }
+
   // New leadership at this site: abandon previous outgoing streams
   // (including any partial batches not yet framed).
   void open_streams(std::uint32_t stream_epoch);
   std::uint32_t stream_epoch() const { return epoch_; }
+
+  // The receiver's leadership changed (observed via gossiped zab epochs):
+  // abandon the in-flight frames to `dest` and restart the stream under a
+  // bumped generation. The dropped messages are re-derived one level up
+  // (registration / frontier resync), exactly as for an epoch bump.
+  void reset_stream(SiteId dest);
+  std::uint32_t stream_gen(SiteId dest) const;
+  std::uint64_t stream_resets() const { return stream_resets_; }
 
   // Queue `inner` for reliable FIFO delivery to `dest`'s leader.
   void send(SiteId dest, sim::MessagePtr inner);
@@ -100,6 +123,7 @@ class WanTransport {
   };
   struct InStream {
     std::uint32_t epoch = 0;
+    std::uint32_t gen = 0;
     std::uint64_t expected = 1;
     std::map<std::uint64_t, sim::MessagePtr> buffer;  // out-of-order inners
   };
@@ -109,6 +133,7 @@ class WanTransport {
   void handle_ack(const WanAckMsg& m);
 
   SiteId my_site_;
+  NodeId from_node_ = kNoNode;
   RawSend raw_send_;
   Deliver deliver_;
   WanBatchOptions batch_;
@@ -117,9 +142,13 @@ class WanTransport {
   std::uint32_t epoch_ = 0;
   std::map<SiteId, OutStream> out_;
   std::map<SiteId, InStream> in_;
+  // Outgoing generation per destination; survives open_streams so the pair
+  // (epoch_, gen_[dest]) never repeats within one broker incarnation.
+  std::map<SiteId, std::uint32_t> gen_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t stream_resets_ = 0;
 };
 
 }  // namespace wankeeper::wk

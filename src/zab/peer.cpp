@@ -86,6 +86,20 @@ void Peer::reset_volatile_role_state() {
   broadcast_frontier_ = kNoZxid;
   flush_timer_armed_ = false;
   last_contact_.clear();
+  sync_pending_ = false;
+}
+
+// A SYNC is now owed to us; remember it so request_resync doesn't solicit
+// an overlapping one (the flag expires with the discovery timeout in case
+// the SYNC itself is lost).
+void Peer::expect_sync() {
+  sync_pending_ = true;
+  sync_pending_since_ = now();
+}
+
+bool Peer::sync_in_flight() const {
+  return sync_pending_ &&
+         now() - sync_pending_since_ < opts_.discovery_timeout;
 }
 
 void Peer::on_crash() {
@@ -116,6 +130,7 @@ void Peer::start_election() {
       m->last_zxid = last_logged();
       send(v, m);
     }
+    expect_sync();  // a leader among them answers with SYNC
   } else {
     my_vote_ = Vote{id(), last_logged(), priority_};
     votes_[id()] = my_vote_;
@@ -139,6 +154,7 @@ void Peer::looking_tick_helper() {
       m->last_zxid = last_logged();
       send(v, m);
     }
+    expect_sync();
   } else if (!awaiting_new_epoch_) {
     broadcast_vote();
   }
@@ -232,6 +248,7 @@ void Peer::handle_current_leader(const CurrentLeaderMsg& m) {
     info->last_zxid = last_logged();
     leader_ = m.leader;
     send(m.leader, info);
+    expect_sync();
   } else if (m.leader == id()) {
     // Stale report naming us; ignore and let voting continue.
   } else {
@@ -317,6 +334,7 @@ void Peer::handle_new_epoch(NodeId from, const NewEpochMsg& m) {
   reply->current_epoch = current_epoch_;
   reply->last_zxid = last_logged();
   send(from, reply);
+  expect_sync();
 }
 
 void Peer::handle_ack_epoch(NodeId from, const AckEpochMsg& m) {
@@ -382,10 +400,20 @@ void Peer::sync_learner(NodeId learner, Zxid learner_last, bool observer) {
 
 void Peer::handle_sync(NodeId from, const SyncMsg& m) {
   if (m.epoch < accepted_epoch_) return;
+  // Unsolicited SYNC (e.g. a duplicate crossing a second resync request, or
+  // one delayed past a role change): applying it would truncate entries a
+  // previous sync already handed us. Only the sync we asked for may run.
+  if (!sync_pending_) return;
+  sync_pending_ = false;
   accepted_epoch_ = m.epoch;
   leader_ = from;
   log_.truncate_after(m.truncate_to);
   log_.append_new(m.entries);
+  // Recovery fault point: the sync's entries are in the log but nothing is
+  // committed or acked yet — crash here models a learner dying with a
+  // half-adopted DIFF.
+  sim().faults().fire("zab.sync_applying", name());
+  if (!up()) return;
   advance_commit_frontier(m.commit_up_to);
   deliver_committed();
   last_leader_contact_ = now();
@@ -511,6 +539,11 @@ bool Peer::extends_log(Zxid next) const {
 // out-of-order messages arrive meanwhile.
 void Peer::request_resync() {
   if (leader_ == kNoNode) return;
+  // Re-entrancy guard: while a solicited SYNC is still in flight, asking
+  // again would interleave two DIFF applications (the second truncates what
+  // the first delivered). The in-flight marker expires with the discovery
+  // timeout so a lost SYNC cannot suppress recovery forever.
+  if (sync_in_flight()) return;
   if (last_resync_request_ >= 0 &&
       now() - last_resync_request_ < 200 * kMillisecond) {
     return;
@@ -521,12 +554,16 @@ void Peer::request_resync() {
     auto m = std::make_shared<ObserverInfoMsg>();
     m->last_zxid = last_logged();
     send(leader_, m);
+    expect_sync();
   } else {
     auto m = std::make_shared<FollowerInfoMsg>();
     m->accepted_epoch = accepted_epoch_;
     m->last_zxid = last_logged();
     send(leader_, m);
   }
+  // Recovery fault point: the resync request is on the wire; crash here
+  // models a learner dying between asking for and receiving its DIFF.
+  sim().faults().fire("zab.resync_request", name());
 }
 
 void Peer::handle_propose(NodeId from, const ProposeMsg& m) {

@@ -145,6 +145,8 @@ class Peer : public sim::Actor {
   // --- broadcast ---
   bool extends_log(Zxid next) const;
   void request_resync();
+  void expect_sync();
+  bool sync_in_flight() const;
   void flush_batch();
   void arm_flush_timer();
   void handle_propose(NodeId from, const ProposeMsg& m);
@@ -218,6 +220,12 @@ class Peer : public sim::Actor {
   // follower
   Time last_leader_contact_ = 0;
   Time last_resync_request_ = -1;
+  // A SYNC is owed to us (we sent ACKEPOCH/OBSERVERINFO and the leader will
+  // answer with SYNC). Guards request_resync against re-entrancy — two
+  // overlapping DIFF applications could truncate entries the first sync
+  // already delivered — and lets handle_sync drop unsolicited SYNCs.
+  bool sync_pending_ = false;
+  Time sync_pending_since_ = 0;
 };
 
 }  // namespace wankeeper::zab

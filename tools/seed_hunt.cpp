@@ -1,0 +1,135 @@
+// CI seed hunter: run the canonical crash sweep (src/wankeeper/sweep_harness.h)
+// over a seed range in both batching modes and dump a flight-recorder
+// artifact for every failure. The nightly workflow walks a rolling ~1000-seed
+// window with this tool; a developer reproduces a red run locally with the
+// exact seed it prints (see EXPERIMENTS.md).
+//
+//   seed_hunt --start 1 --count 100 [--batching 0|1|both] [--out DIR]
+//
+// Exit status: 0 when every (seed, mode) cell passed, 1 otherwise.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "wankeeper/sweep_harness.h"
+
+namespace {
+
+using namespace wankeeper;
+
+struct Options {
+  std::uint64_t start = 1;
+  std::uint64_t count = 50;
+  int batching = 2;  // 0, 1, or 2 = both
+  std::string out_dir = ".";
+};
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--start") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->start = std::stoull(v);
+    } else if (arg == "--count") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->count = std::stoull(v);
+    } else if (arg == "--batching") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->batching = std::strcmp(v, "both") == 0 ? 2 : std::stoi(v);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// On failure, dump the full metrics registry plus the slowest traces so the
+// CI artifact carries everything needed to start debugging without a rerun.
+void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
+                    std::uint64_t seed, bool batching,
+                    const std::string& out_dir) {
+  const std::string stem = out_dir + "/seed" + std::to_string(seed) +
+                           (batching ? "_batched" : "_unbatched");
+  {
+    std::ofstream f(stem + ".metrics.json");
+    f << d.sim.obs().metrics.to_json() << "\n";
+  }
+  {
+    std::ofstream f(stem + ".report.txt");
+    f << "seed: " << seed << "\n"
+      << "batching: " << (batching ? "on" : "off") << "\n"
+      << "audit_clean: " << r.audit_clean << "\n"
+      << "first_violation: " << r.first_violation << "\n"
+      << "converged: " << r.converged << "\n"
+      << "completed_total: " << r.completed_total << "\n\n"
+      << d.sim.obs().tracer.breakdown_table() << "\n";
+    for (const auto* t : d.sim.obs().tracer.slowest(20)) {
+      f << d.sim.obs().tracer.format_trace(t->id) << "\n";
+    }
+  }
+  std::printf("artifacts: %s.{metrics.json,report.txt}\n", stem.c_str());
+}
+
+bool run_cell(std::uint64_t seed, bool batching, const std::string& out_dir) {
+  wk::DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  wk::LoadedDeployment d(seed, cfg);
+  const wk::SweepResult r = wk::run_crash_sweep_on(d, seed);
+  if (r.ok()) return true;
+  std::printf("FAIL seed %llu batching %d: audit_clean=%d converged=%d "
+              "completed=%llu%s%s\n",
+              static_cast<unsigned long long>(seed), int(batching),
+              int(r.audit_clean), int(r.converged),
+              static_cast<unsigned long long>(r.completed_total),
+              r.first_violation.empty() ? "" : " violation=",
+              r.first_violation.c_str());
+  dump_artifacts(d, r, seed, batching, out_dir);
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: seed_hunt [--start N] [--count M] "
+                 "[--batching 0|1|both] [--out DIR]\n");
+    return 2;
+  }
+
+  std::vector<bool> modes;
+  if (opt.batching == 0 || opt.batching == 2) modes.push_back(false);
+  if (opt.batching == 1 || opt.batching == 2) modes.push_back(true);
+
+  std::uint64_t failures = 0, cells = 0;
+  for (std::uint64_t s = opt.start; s < opt.start + opt.count; ++s) {
+    for (const bool batching : modes) {
+      ++cells;
+      if (!run_cell(s, batching, opt.out_dir)) ++failures;
+    }
+    if ((s - opt.start + 1) % 10 == 0) {
+      std::printf("progress: %llu/%llu seeds, %llu failure(s)\n",
+                  static_cast<unsigned long long>(s - opt.start + 1),
+                  static_cast<unsigned long long>(opt.count),
+                  static_cast<unsigned long long>(failures));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("seed_hunt done: %llu cell(s), %llu failure(s)\n",
+              static_cast<unsigned long long>(cells),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
