@@ -1,0 +1,340 @@
+// Lock-service bench: the classic ZooKeeper fair-lock recipe (ephemeral
+// sequential znodes, each waiter watching its predecessor) running on
+// WanKeeper across five WAN sites, under a calm network and under the
+// hostile5 scenario (flapping link, one-way partition, whole-site
+// leave/rejoin — see sim/scenario.cpp). Grown from examples/wan_lock.cpp
+// into a measured bench.
+//
+// Reported per mode, emitted to BENCH_lock.json:
+//   hand-off latency  — release (or holder death) to next acquisition;
+//   fairness          — Jain index over per-site acquisition counts;
+//   herd size         — watch-triggered queue re-inspections per hand-off
+//                       (predecessor watching should hold this at ~1).
+//
+// Regression gates (CI runs `fig_lock --quick`):
+//   both modes:  mutual exclusion holds, herd size <= 1.5, progress floor;
+//   calm:        Jain >= 0.90, hand-off p99 <= 5 s, all sites converge;
+//   hostile:     Jain >= 0.50 (the left site is dead for ~1/4 of the run),
+//                lock keeps making progress through every scripted event.
+//
+//   ./build/bench/fig_lock [--quick] [--out BENCH_lock.json]
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/scenario.h"
+#include "wankeeper/deployment.h"
+
+using namespace wankeeper;
+
+namespace {
+
+// The wan_lock example's FairLock plus instrumentation: every check()
+// triggered by a watch event is a member of the "herd" that a hand-off
+// woke up.
+class FairLock {
+ public:
+  FairLock(zk::Client& zk, std::string dir, std::uint64_t* herd_wakeups)
+      : zk_(zk), dir_(std::move(dir)), herd_wakeups_(herd_wakeups) {
+    zk_.set_watch_handler([this](const std::string& path, store::WatchEvent e) {
+      if (e == store::WatchEvent::kDeleted && path == watching_) {
+        watching_.clear();
+        ++*herd_wakeups_;
+        check();
+      }
+    });
+  }
+
+  using Body = std::function<void(std::function<void()> release)>;
+  void lock(Body body) {
+    body_ = std::move(body);
+    zk_.create(dir_ + "/lk-", "", /*ephemeral=*/true, /*sequential=*/true,
+               [this](const zk::ClientResult& r) {
+                 if (!r.ok()) return;
+                 me_ = r.created_path;
+                 check();
+               });
+  }
+
+ private:
+  void check() {
+    zk_.get_children(dir_, false, [this](const zk::ClientResult& r) {
+      if (!r.ok() || me_.empty()) return;
+      auto names = r.children;
+      std::sort(names.begin(), names.end());
+      const std::string mine = me_.substr(dir_.size() + 1);
+      const auto it = std::find(names.begin(), names.end(), mine);
+      if (it == names.end()) return;
+      if (it == names.begin()) {
+        body_([this]() {
+          zk_.remove(me_, -1, [](const zk::ClientResult&) {});
+          me_.clear();
+        });
+        return;
+      }
+      watching_ = dir_ + "/" + *(it - 1);
+      zk_.exists_node(watching_, true, [this](const zk::ClientResult& er) {
+        if (er.rc == store::Rc::kNoNode && !watching_.empty()) {
+          watching_.clear();
+          check();
+        }
+      });
+    });
+  }
+
+  zk::Client& zk_;
+  std::string dir_;
+  std::string me_;
+  std::string watching_;
+  Body body_;
+  std::uint64_t* herd_wakeups_;
+};
+
+struct LockRunResult {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t increments = 0;  // committed critical sections we observed
+  std::uint64_t mutex_violations = 0;
+  std::uint64_t herd_wakeups = 0;
+  std::vector<std::uint64_t> per_site;
+  LatencyRecorder handoff;
+  bool converged = false;
+  bool audit_clean = false;
+  int final_counter = 0;
+
+  double jain() const {
+    double sum = 0, sq = 0;
+    std::size_t n = 0;
+    for (const std::uint64_t c : per_site) {
+      sum += static_cast<double>(c);
+      sq += static_cast<double>(c) * static_cast<double>(c);
+      ++n;
+    }
+    if (sq == 0) return 0.0;
+    return sum * sum / (static_cast<double>(n) * sq);
+  }
+  double herd_per_handoff() const {
+    return acquisitions == 0
+               ? 0.0
+               : static_cast<double>(herd_wakeups) /
+                     static_cast<double>(acquisitions);
+  }
+};
+
+LockRunResult run_lock_bench(const std::string& scenario_name, Time run_for,
+                             int contenders_per_site) {
+  sim::Scenario scenario = sim::make_scenario(scenario_name);
+  wk::TokenAuditor audit;
+  sim::Simulator sim(7);
+  sim::Network net(sim, sim::scenario_latency(scenario));
+  wk::DeploymentConfig cfg;
+  cfg.sites = scenario.sites();
+  wk::Deployment deploy(sim, net, cfg, &audit);
+  LockRunResult out;
+  out.per_site.assign(static_cast<std::size_t>(cfg.sites), 0);
+  if (!deploy.wait_ready()) return out;
+
+  auto setup = deploy.make_client("setup", 0, 10);
+  sim.run_for(kSecond);
+  setup->create("/locks", "", false, false, {});
+  setup->create("/counter", "0", false, false, {});
+  sim.run_for(2 * kSecond);
+
+  struct Contender {
+    std::unique_ptr<zk::Client> zk;
+    std::unique_ptr<FairLock> lock;
+    SiteId site = 0;
+  };
+  std::vector<Contender> contenders;
+  for (SiteId s = 0; s < static_cast<SiteId>(cfg.sites); ++s) {
+    for (int c = 0; c < contenders_per_site; ++c) {
+      Contender cc;
+      cc.site = s;
+      cc.zk = deploy.make_client(
+          "lk-s" + std::to_string(s) + "-" + std::to_string(c), s,
+          static_cast<SessionId>(100 + contenders.size()));
+      cc.lock = std::make_unique<FairLock>(*cc.zk, "/locks", &out.herd_wakeups);
+      contenders.push_back(std::move(cc));
+    }
+  }
+  sim.run_for(kSecond);
+
+  // The lock trades a single counter around; mutual exclusion shows as a
+  // strictly increasing read at every acquisition. `last_release` times the
+  // hand-off gap; a holder that dies mid-section (hostile site leave) ends
+  // its hold when its ephemeral expires, and the successor's acquisition
+  // still closes the gap.
+  Time last_release = 0;
+  int last_seen = -1;
+  bool stopping = false;
+  std::function<void(int)> grab = [&](int i) {
+    auto& c = contenders[static_cast<std::size_t>(i)];
+    c.lock->lock([&, i](std::function<void()> release) {
+      auto& me = contenders[static_cast<std::size_t>(i)];
+      ++out.acquisitions;
+      ++out.per_site[static_cast<std::size_t>(me.site)];
+      if (last_release != 0) {
+        out.handoff.record(sim.now() - last_release);
+      }
+      me.zk->get_data(
+          "/counter", false, [&, i, release](const zk::ClientResult& r) {
+            if (!r.ok()) {  // our site is mid-crash; the ephemeral will expire
+              return;
+            }
+            const int v = std::stoi(std::string(r.data.begin(), r.data.end()));
+            if (v <= last_seen) ++out.mutex_violations;
+            last_seen = v;
+            auto& me2 = contenders[static_cast<std::size_t>(i)];
+            me2.zk->set_data(
+                "/counter", std::to_string(v + 1), -1,
+                [&, i, release](const zk::ClientResult& wr) {
+                  if (wr.ok()) ++out.increments;
+                  last_release = sim.now();
+                  release();
+                  if (!stopping) grab(i);
+                });
+          });
+    });
+  };
+  for (std::size_t i = 0; i < contenders.size(); ++i) {
+    grab(static_cast<int>(i));
+  }
+
+  sim::ScenarioHooks hooks;
+  hooks.site_down = [&deploy](SiteId s) { deploy.crash_site(s); };
+  hooks.site_up = [&deploy](SiteId s) { deploy.restart_site(s); };
+  scenario.install(net, hooks);
+
+  sim.run_for(std::max(run_for, scenario.horizon() + 8 * kSecond));
+  stopping = true;
+  sim.run_for(30 * kSecond);  // drain: expiries, resync, final hand-offs
+
+  out.converged = deploy.converged();
+  out.audit_clean = audit.clean();
+  std::vector<std::uint8_t> data;
+  deploy.broker(0, 0).tree().get_data("/counter", &data);
+  out.final_counter = std::stoi(std::string(data.begin(), data.end()));
+  return out;
+}
+
+void show(TablePrinter& t, const char* mode, const LockRunResult& r) {
+  t.row({mode, std::to_string(r.acquisitions),
+         TablePrinter::num(static_cast<double>(r.handoff.percentile_us(0.5)) /
+                               1000.0, 1),
+         TablePrinter::num(static_cast<double>(r.handoff.percentile_us(0.99)) /
+                               1000.0, 1),
+         TablePrinter::num(r.jain(), 3),
+         TablePrinter::num(r.herd_per_handoff(), 2),
+         std::to_string(r.mutex_violations), r.converged ? "yes" : "NO"});
+}
+
+void json_mode(std::FILE* f, const char* mode, const LockRunResult& r,
+               bool last) {
+  std::fprintf(f, "  \"%s\": {\n", mode);
+  std::fprintf(f, "    \"acquisitions\": %llu, \"increments\": %llu,\n",
+               static_cast<unsigned long long>(r.acquisitions),
+               static_cast<unsigned long long>(r.increments));
+  std::fprintf(f,
+               "    \"handoff_p50_ms\": %.2f, \"handoff_p99_ms\": %.2f,\n",
+               static_cast<double>(r.handoff.percentile_us(0.5)) / 1000.0,
+               static_cast<double>(r.handoff.percentile_us(0.99)) / 1000.0);
+  std::fprintf(f, "    \"jain_fairness\": %.4f, \"herd_per_handoff\": %.3f,\n",
+               r.jain(), r.herd_per_handoff());
+  std::fprintf(f, "    \"per_site_acquisitions\": [");
+  for (std::size_t s = 0; s < r.per_site.size(); ++s) {
+    std::fprintf(f, "%s%llu", s == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(r.per_site[s]));
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f,
+               "    \"mutex_violations\": %llu, \"final_counter\": %d, "
+               "\"converged\": %s, \"audit_clean\": %s\n",
+               static_cast<unsigned long long>(r.mutex_violations),
+               r.final_counter, r.converged ? "true" : "false",
+               r.audit_clean ? "true" : "false");
+  std::fprintf(f, "  }%s\n", last ? "" : ",");
+}
+
+int gate(bool pass, const char* what) {
+  if (!pass) std::printf("!! FAIL: %s\n", what);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_lock.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::printf("=== Lock service across 5 WAN sites: calm vs hostile ===\n");
+  const int per_site = 2;
+  const Time calm_run = quick ? 30 * kSecond : 90 * kSecond;
+
+  const LockRunResult calm = run_lock_bench("calm5", calm_run, per_site);
+  // hostile5's own horizon dominates; run_for is a floor.
+  const LockRunResult hostile = run_lock_bench("hostile5", 0, per_site);
+
+  TablePrinter table({"mode", "acquisitions", "handoff p50 ms",
+                      "handoff p99 ms", "jain", "herd", "mutex viol",
+                      "converged"});
+  show(table, "calm", calm);
+  show(table, "hostile", hostile);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("!! cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"quick\": %s, \"contenders_per_site\": %d,\n",
+                 quick ? "true" : "false", per_site);
+    json_mode(f, "calm", calm, false);
+    json_mode(f, "hostile", hostile, true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  int rc = 0;
+  // Safety gates: no interleaved critical sections, no token-audit
+  // violations, and the calm counter accounts for every increment exactly.
+  rc |= gate(calm.mutex_violations == 0, "calm: mutual exclusion violated");
+  rc |= gate(hostile.mutex_violations == 0,
+             "hostile: mutual exclusion violated");
+  rc |= gate(calm.audit_clean && hostile.audit_clean,
+             "token audit violations");
+  rc |= gate(calm.converged, "calm: sites diverged");
+  rc |= gate(hostile.converged, "hostile: sites diverged after heal");
+  rc |= gate(calm.final_counter == static_cast<int>(calm.increments),
+             "calm: counter != observed increments");
+  // Progress gates: the queue must keep moving, even through the hostile
+  // run's flap + one-way cut + site leave.
+  rc |= gate(calm.acquisitions >= 50, "calm: too few acquisitions");
+  rc |= gate(hostile.acquisitions >= 30, "hostile: lock stalled");
+  // Quality gates: predecessor watching keeps the herd at ~1 wakeup per
+  // hand-off, and rotation stays fair (the hostile bar allows for the dead
+  // site's lost turns).
+  rc |= gate(calm.herd_per_handoff() <= 1.5, "calm: thundering herd");
+  rc |= gate(hostile.herd_per_handoff() <= 1.5, "hostile: thundering herd");
+  rc |= gate(calm.jain() >= 0.90, "calm: unfair acquisition distribution");
+  rc |= gate(hostile.jain() >= 0.50, "hostile: unfair acquisition distribution");
+  rc |= gate(static_cast<double>(calm.handoff.percentile_us(0.99)) <=
+                 5.0 * kSecond,
+             "calm: hand-off p99 above 5s");
+
+  std::printf(rc == 0 ? "\nall lock-bench gates passed\n"
+                      : "\nlock-bench gates FAILED\n");
+  return rc;
+}

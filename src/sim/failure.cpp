@@ -16,10 +16,31 @@ void FailureInjector::partition_at(Time when, SiteId a, SiteId b, Time cut_for) 
   }
 }
 
+void FailureInjector::partition_oneway_at(Time when, SiteId from, SiteId to,
+                                          Time cut_for) {
+  net_.sim().at(when, [this, from, to]() { net_.partition_oneway(from, to, true); });
+  if (cut_for > 0) {
+    net_.sim().at(when + cut_for,
+                  [this, from, to]() { net_.partition_oneway(from, to, false); });
+  }
+}
+
 void FailureInjector::isolate_site_at(Time when, SiteId s, Time cut_for) {
   net_.sim().at(when, [this, s]() { net_.isolate_site(s, true); });
   if (cut_for > 0) {
     net_.sim().at(when + cut_for, [this, s]() { net_.isolate_site(s, false); });
+  }
+}
+
+void FailureInjector::degrade_link_at(Time when, SiteId from, SiteId to,
+                                      double drop_rate, Time extra_latency,
+                                      Time degraded_for) {
+  net_.sim().at(when, [this, from, to, drop_rate, extra_latency]() {
+    net_.degrade_link(from, to, drop_rate, extra_latency);
+  });
+  if (degraded_for > 0) {
+    net_.sim().at(when + degraded_for,
+                  [this, from, to]() { net_.degrade_link(from, to, 0.0, 0); });
   }
 }
 

@@ -1,5 +1,8 @@
 // Declarative failure schedules for integration and property tests:
 // crash/restart nodes and cut/heal partitions at given virtual times.
+// Every action is a scheduled call into sim::Network's single link/liveness
+// state (the one link_up() reads), so injector schedules and scenario
+// scripts (sim/scenario.h) compose without desyncing.
 #pragma once
 
 #include <vector>
@@ -17,8 +20,14 @@ class FailureInjector {
   void crash_at(Time when, NodeId node, Time down_for = 0);
   // Cut sites a<->b at `when`, heal `cut_for` later (0 = stay cut).
   void partition_at(Time when, SiteId a, SiteId b, Time cut_for = 0);
+  // Cut only from -> to (asymmetric), heal `cut_for` later (0 = stay cut).
+  void partition_oneway_at(Time when, SiteId from, SiteId to, Time cut_for = 0);
   // Isolate a whole site, heal after `cut_for` (0 = stay cut).
   void isolate_site_at(Time when, SiteId s, Time cut_for = 0);
+  // Degrade from -> to (drop rate + extra latency), restore after
+  // `degraded_for` (0 = stay degraded).
+  void degrade_link_at(Time when, SiteId from, SiteId to, double drop_rate,
+                       Time extra_latency, Time degraded_for = 0);
 
  private:
   Network& net_;

@@ -5,6 +5,10 @@
 
 namespace wankeeper::sim {
 
+namespace {
+const LinkState kPristineLink{};
+}  // namespace
+
 Actor::~Actor() {
   if (registered_net_ != nullptr) registered_net_->forget(id_);
 }
@@ -34,8 +38,36 @@ LatencyModel LatencyModel::paper_wan() {
   }};
 }
 
+LatencyModel LatencyModel::wan5() {
+  // VA(0), CA(1), FRA(2), Tokyo(3), Sydney(4). One-way delays from public
+  // inter-region ping tables, with slight forward/return asymmetry.
+  const Time intra = 150 * kMicrosecond;
+  const Time ms = kMillisecond;
+  return LatencyModel{{
+      {intra, 31 * ms, 44 * ms, 78 * ms, 102 * ms},
+      {33 * ms, intra, 73 * ms, 54 * ms, 74 * ms},
+      {44 * ms, 71 * ms, intra, 118 * ms, 140 * ms},
+      {80 * ms, 52 * ms, 121 * ms, intra, 57 * ms},
+      {99 * ms, 76 * ms, 137 * ms, 55 * ms, intra},
+  }};
+}
+
 Time LatencyModel::base(SiteId from, SiteId to) const {
   return matrix_.at(static_cast<std::size_t>(from)).at(static_cast<std::size_t>(to));
+}
+
+void LatencyModel::set_base(SiteId from, SiteId to, Time one_way) {
+  matrix_.at(static_cast<std::size_t>(from)).at(static_cast<std::size_t>(to)) = one_way;
+}
+
+void LatencyModel::scale_wan(double factor) {
+  for (std::size_t i = 0; i < matrix_.size(); ++i) {
+    for (std::size_t j = 0; j < matrix_.size(); ++j) {
+      if (i == j) continue;
+      matrix_[i][j] = std::max<Time>(
+          1, static_cast<Time>(static_cast<double>(matrix_[i][j]) * factor));
+    }
+  }
 }
 
 Time LatencyModel::sample(Rng& rng, SiteId from, SiteId to) const {
@@ -81,17 +113,38 @@ Actor& Network::actor(NodeId node) const {
   return *nodes_.at(static_cast<std::size_t>(node));
 }
 
+const LinkState& Network::link(SiteId from, SiteId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? kPristineLink : it->second;
+}
+
+LinkState& Network::link_mut(SiteId from, SiteId to) {
+  return links_[{from, to}];
+}
+
 bool Network::partitioned(SiteId a, SiteId b) const {
-  return cuts_.count({std::min(a, b), std::max(a, b)}) != 0;
+  return link(a, b).cut;
+}
+
+bool Network::site_link_up(SiteId a, SiteId b) const {
+  return !link(a, b).cut;
+}
+
+bool Network::link_up(NodeId from, NodeId to) const {
+  if (!alive(from) || !alive(to)) return false;
+  if (!actor(from).up() || !actor(to).up()) return false;
+  return site_link_up(site_of(from), site_of(to));
 }
 
 void Network::partition(SiteId a, SiteId b, bool cut) {
-  const auto key = std::make_pair(std::min(a, b), std::max(a, b));
-  if (cut) {
-    cuts_.insert(key);
-  } else {
-    cuts_.erase(key);
-  }
+  partition_oneway(a, b, cut);
+  partition_oneway(b, a, cut);
+}
+
+void Network::partition_oneway(SiteId from, SiteId to, bool cut) {
+  LinkState& l = link_mut(from, to);
+  l.cut = cut;
+  if (l.pristine()) links_.erase({from, to});
 }
 
 void Network::isolate_site(SiteId s, bool cut) {
@@ -100,6 +153,21 @@ void Network::isolate_site(SiteId s, bool cut) {
   }
 }
 
+void Network::degrade_link(SiteId from, SiteId to, double drop_rate,
+                           Time extra_latency) {
+  LinkState& l = link_mut(from, to);
+  l.drop_rate = drop_rate;
+  l.extra_latency = extra_latency;
+  if (l.pristine()) links_.erase({from, to});
+}
+
+void Network::set_latency(SiteId from, SiteId to, Time one_way, bool symmetric) {
+  latency_.set_base(from, to, one_way);
+  if (symmetric) latency_.set_base(to, from, one_way);
+}
+
+void Network::scale_wan_latency(double factor) { latency_.scale_wan(factor); }
+
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg->wire_size();
@@ -107,8 +175,6 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     ++stats_.messages_dropped;
     return;
   }
-  Actor& src = actor(from);
-  Actor& dst = actor(to);
   const SiteId sfrom = site_of(from);
   const SiteId sto = site_of(to);
   if (sfrom != sto) {
@@ -117,13 +183,16 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     sim_.obs().metrics.counter("net.wan_bytes", sfrom).inc(msg->wire_size());
   }
 
-  if (!src.up() || !dst.up() || partitioned(sfrom, sto) ||
-      (drop_rate_ > 0.0 && sim_.rng().chance(drop_rate_))) {
+  const LinkState& lnk = link(sfrom, sto);
+  if (!link_up(from, to) ||
+      (drop_rate_ > 0.0 && sim_.rng().chance(drop_rate_)) ||
+      (lnk.drop_rate > 0.0 && sim_.rng().chance(lnk.drop_rate))) {
     ++stats_.messages_dropped;
     return;
   }
 
-  const Time latency = latency_.sample(sim_.rng(), sfrom, sto);
+  Actor& dst = actor(to);
+  const Time latency = latency_.sample(sim_.rng(), sfrom, sto) + lnk.extra_latency;
   Time deliver_at = sim_.now() + latency;
   // FIFO per ordered channel: never deliver before an earlier send. WAN
   // messages additionally hold the channel for their occupancy, so a burst

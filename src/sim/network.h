@@ -2,13 +2,14 @@
 // the one-way latency of the (site, site) pair plus seeded jitter. Channels
 // are FIFO per (src, dst) ordered pair — the TCP assumption the paper makes
 // for broker/server links — enforced by never scheduling a delivery earlier
-// than the previous one on the same channel. Supports site partitions, node
-// crashes, and probabilistic drops for failure testing.
+// than the previous one on the same channel. Supports site partitions
+// (symmetric or one-way), node crashes, per-link degradation (drop rate and
+// extra latency), runtime latency-matrix changes, and probabilistic drops
+// for failure testing. All of it is scriptable from sim/scenario.h.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,9 @@ namespace wankeeper::sim {
 
 // One-way latency matrix between sites. Defaults below are calibrated to the
 // paper's AWS deployment (Virginia=0, California=1, Frankfurt=2); see
-// DESIGN.md §4.
+// DESIGN.md §4. The matrix is mutable at runtime (set_base) so scenario
+// scripts can model routing changes and diurnal latency swells; a message
+// always pays the cost in effect at its *send* time.
 class LatencyModel {
  public:
   // Uniform model: same latency between any two distinct sites.
@@ -32,9 +35,18 @@ class LatencyModel {
 
   // The three-region topology of the paper: VA(0), CA(1), FRA(2).
   static LatencyModel paper_wan();
+  // A five-region heterogeneous topology for the hostile-WAN scenarios:
+  // VA(0), CA(1), FRA(2), Tokyo(3), Sydney(4). Deliberately *not* uniform:
+  // one-way delays span 31–140 ms and the matrix is mildly asymmetric
+  // (return paths differ by a few ms), matching the evaluation-survey
+  // critique that symmetric grids hide routing effects.
+  static LatencyModel wan5();
 
   std::size_t sites() const { return matrix_.size(); }
   Time base(SiteId from, SiteId to) const;
+  void set_base(SiteId from, SiteId to, Time one_way);
+  // Scale every inter-site entry by `factor` (intra-site costs untouched).
+  void scale_wan(double factor);
   // Base latency plus truncated-normal jitter drawn from `rng`.
   Time sample(Rng& rng, SiteId from, SiteId to) const;
 
@@ -62,6 +74,20 @@ struct WanCostModel {
   double bytes_per_us = 0.0; // link bandwidth; <= 0 means unmodeled
 };
 
+// Mutable per-direction state of one inter-site link. A "cut" link drops
+// every message in that direction; a degraded link loses a fraction and/or
+// adds latency. Directions are independent so scenarios can express
+// asymmetric partitions (A hears B but not vice versa).
+struct LinkState {
+  bool cut = false;
+  double drop_rate = 0.0;
+  Time extra_latency = 0;
+
+  bool pristine() const {
+    return !cut && drop_rate == 0.0 && extra_latency == 0;
+  }
+};
+
 class Network {
  public:
   Network(Simulator& sim, LatencyModel latency);
@@ -77,15 +103,42 @@ class Network {
   bool alive(NodeId node) const;
   std::size_t node_count() const { return nodes_.size(); }
 
-  // Sends msg from -> to. Dropped if either end is crashed at send time, the
-  // sites are partitioned at send time, or the drop-rate coin fires.
+  // Sends msg from -> to. Dropped if link_up(from, to) is false at send
+  // time or the drop-rate coin (global or per-link) fires. A message in
+  // flight pays the latency and link state sampled at send time; partitions
+  // or latency changes that happen later do not affect it. Delivery-time
+  // loss models connection reset only: destination crash, restart
+  // (incarnation bump), or destruction while the message was in flight.
   void send(NodeId from, NodeId to, MessagePtr msg);
 
-  // --- failure injection ---
+  // THE deliverability predicate, at the current virtual time: both
+  // endpoints registered and up, and the directed site link not cut. Every
+  // send-time admission decision goes through this one test — failure
+  // injectors and scenario scripts mutate the same state it reads, so the
+  // two can never disagree about whether a link is usable.
+  bool link_up(NodeId from, NodeId to) const;
+  // Site-level form: directed link a -> b not cut.
+  bool site_link_up(SiteId a, SiteId b) const;
+
+  // --- failure / scenario injection ---
+  // Symmetric partition: cuts (or heals) both directions at once.
   void partition(SiteId a, SiteId b, bool cut);
+  // Asymmetric partition: cut only from -> to ("to" cannot hear "from";
+  // replies still flow). Healing one direction leaves the other alone.
+  void partition_oneway(SiteId from, SiteId to, bool cut);
+  // True when the directed link a -> b is cut.
   bool partitioned(SiteId a, SiteId b) const;
-  // Isolate one site from every other site.
+  // Isolate one site from every other site (both directions).
   void isolate_site(SiteId s, bool cut);
+  // Degrade the directed link from -> to: lose `drop_rate` of messages and
+  // add `extra_latency` to the rest. Pass zeros to restore the link.
+  void degrade_link(SiteId from, SiteId to, double drop_rate, Time extra_latency);
+  const LinkState& link(SiteId from, SiteId to) const;
+
+  // Runtime latency control (affects messages sent after the call).
+  void set_latency(SiteId from, SiteId to, Time one_way, bool symmetric = true);
+  void scale_wan_latency(double factor);
+
   void set_drop_rate(double p) { drop_rate_ = p; }
   void set_wan_cost(WanCostModel cost) { wan_cost_ = cost; }
   const WanCostModel& wan_cost() const { return wan_cost_; }
@@ -95,13 +148,16 @@ class Network {
   Simulator& sim() { return sim_; }
 
  private:
+  LinkState& link_mut(SiteId from, SiteId to);
+
   Simulator& sim_;
   LatencyModel latency_;
   std::vector<Actor*> nodes_;
   std::vector<SiteId> sites_;
   // FIFO enforcement: earliest allowed next delivery per ordered channel.
   std::map<std::pair<NodeId, NodeId>, Time> channel_clock_;
-  std::set<std::pair<SiteId, SiteId>> cuts_;
+  // Directed (from, to) site-pair link overrides; absent means pristine.
+  std::map<std::pair<SiteId, SiteId>, LinkState> links_;
   double drop_rate_ = 0.0;
   WanCostModel wan_cost_;
   NetworkStats stats_;

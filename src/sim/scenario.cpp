@@ -1,0 +1,286 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace wankeeper::sim {
+
+namespace {
+
+std::string fmt_ms(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(t) / kMillisecond);
+  return buf;
+}
+
+std::string fmt_s(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(t) / kSecond);
+  return buf;
+}
+
+}  // namespace
+
+Scenario::Scenario(std::string name, std::size_t sites)
+    : name_(std::move(name)), sites_(sites) {}
+
+Scenario& Scenario::add(
+    Time when, std::string describe,
+    std::function<void(Network&, const ScenarioHooks&, Scenario&)> fn) {
+  horizon_ = std::max(horizon_, when);
+  events_.push_back(Event{when, std::move(describe), std::move(fn)});
+  return *this;
+}
+
+Scenario& Scenario::set_link_latency(Time when, SiteId a, SiteId b, Time one_way,
+                                     bool symmetric) {
+  return add(when,
+             "set_latency " + std::to_string(a) + (symmetric ? "<->" : "->") +
+                 std::to_string(b) + " " + fmt_ms(one_way),
+             [a, b, one_way, symmetric](Network& net, const ScenarioHooks&,
+                                        Scenario&) {
+               net.set_latency(a, b, one_way, symmetric);
+             });
+}
+
+Scenario& Scenario::scale_wan_latency(Time when, double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", factor);
+  return add(when, std::string("scale_wan_latency x") + buf,
+             [factor](Network& net, const ScenarioHooks&, Scenario&) {
+               net.scale_wan_latency(factor);
+             });
+}
+
+Scenario& Scenario::degrade_link(Time when, SiteId a, SiteId b, double drop_rate,
+                                 Time extra_latency, Time duration,
+                                 bool symmetric) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", drop_rate);
+  const std::string arrow = symmetric ? "<->" : "->";
+  add(when,
+      "degrade " + std::to_string(a) + arrow + std::to_string(b) + " drop=" +
+          buf + " +" + fmt_ms(extra_latency) +
+          (duration > 0 ? " for " + fmt_s(duration) : ""),
+      [a, b, drop_rate, extra_latency, symmetric](Network& net,
+                                                  const ScenarioHooks&,
+                                                  Scenario&) {
+        net.degrade_link(a, b, drop_rate, extra_latency);
+        if (symmetric) net.degrade_link(b, a, drop_rate, extra_latency);
+      });
+  if (duration > 0) {
+    add(when + duration,
+        "restore " + std::to_string(a) + arrow + std::to_string(b),
+        [a, b, symmetric](Network& net, const ScenarioHooks&, Scenario&) {
+          net.degrade_link(a, b, 0.0, 0);
+          if (symmetric) net.degrade_link(b, a, 0.0, 0);
+        });
+  }
+  return *this;
+}
+
+Scenario& Scenario::flap_link(Time first_down, SiteId a, SiteId b, Time down_for,
+                              Time up_for, int cycles) {
+  Time t = first_down;
+  for (int c = 0; c < cycles; ++c) {
+    partition(t, a, b, down_for);
+    t += down_for + up_for;
+  }
+  return *this;
+}
+
+Scenario& Scenario::partition(Time when, SiteId a, SiteId b, Time cut_for) {
+  add(when,
+      "partition " + std::to_string(a) + "<->" + std::to_string(b) +
+          (cut_for > 0 ? " for " + fmt_s(cut_for) : ""),
+      [a, b](Network& net, const ScenarioHooks&, Scenario&) {
+        net.partition(a, b, true);
+      });
+  if (cut_for > 0) {
+    add(when + cut_for,
+        "heal " + std::to_string(a) + "<->" + std::to_string(b),
+        [a, b](Network& net, const ScenarioHooks&, Scenario&) {
+          net.partition(a, b, false);
+        });
+  }
+  return *this;
+}
+
+Scenario& Scenario::partition_oneway(Time when, SiteId from, SiteId to,
+                                     Time cut_for) {
+  add(when,
+      "partition_oneway " + std::to_string(from) + "->" + std::to_string(to) +
+          (cut_for > 0 ? " for " + fmt_s(cut_for) : ""),
+      [from, to](Network& net, const ScenarioHooks&, Scenario&) {
+        net.partition_oneway(from, to, true);
+      });
+  if (cut_for > 0) {
+    add(when + cut_for,
+        "heal_oneway " + std::to_string(from) + "->" + std::to_string(to),
+        [from, to](Network& net, const ScenarioHooks&, Scenario&) {
+          net.partition_oneway(from, to, false);
+        });
+  }
+  return *this;
+}
+
+Scenario& Scenario::site_leave(Time when, SiteId s, Time gone_for) {
+  add(when,
+      "site_leave " + std::to_string(s) +
+          (gone_for > 0 ? " rejoin_after " + fmt_s(gone_for) : ""),
+      [s](Network& net, const ScenarioHooks& hooks, Scenario&) {
+        if (hooks.site_down) {
+          hooks.site_down(s);
+        } else {
+          net.isolate_site(s, true);
+        }
+      });
+  if (gone_for > 0) {
+    add(when + gone_for, "site_rejoin " + std::to_string(s),
+        [s](Network& net, const ScenarioHooks& hooks, Scenario&) {
+          if (hooks.site_up) {
+            hooks.site_up(s);
+          } else {
+            net.isolate_site(s, false);
+          }
+        });
+  }
+  return *this;
+}
+
+Scenario& Scenario::load_factor(Time when, SiteId s, double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", factor);
+  return add(when,
+             "load_factor site " + std::to_string(s) + " x" + buf,
+             [s, factor](Network&, const ScenarioHooks&, Scenario& self) {
+               if (static_cast<std::size_t>(s) < self.load_.size()) {
+                 self.load_[static_cast<std::size_t>(s)] = factor;
+               }
+             });
+}
+
+void Scenario::install(Network& net, ScenarioHooks hooks) {
+  if (net.latency().sites() < sites_) {
+    throw std::invalid_argument("scenario '" + name_ + "' needs " +
+                                std::to_string(sites_) + " sites");
+  }
+  load_.assign(sites_, 1.0);
+  hooks_ = std::move(hooks);
+  // Stable order: events scripted at the same time fire in script order.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->when < b->when; });
+  for (const Event* e : ordered) {
+    net.sim().after(e->when, [this, e, &net]() {
+      WK_INFO(net.sim().now(), "scenario:" + name_, e->describe);
+      e->apply(net, hooks_, *this);
+    });
+  }
+}
+
+double Scenario::current_load(SiteId s) const {
+  if (s < 0 || static_cast<std::size_t>(s) >= load_.size()) return 1.0;
+  return load_[static_cast<std::size_t>(s)];
+}
+
+std::string Scenario::to_script() const {
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->when < b->when; });
+  std::string out = "scenario " + name_ + " sites=" + std::to_string(sites_) +
+                    " horizon=" + fmt_s(horizon_) + "\n";
+  for (const Event* e : ordered) {
+    out += "  @" + fmt_s(e->when) + " " + e->describe + "\n";
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- library
+
+Scenario make_scenario(const std::string& name) {
+  if (name == "calm3") return Scenario("calm3", 3);
+  if (name == "calm5") return Scenario("calm5", 5);
+
+  if (name == "flap3") {
+    // A flapping VA<->CA link plus a lossy, slow CA<->FRA stretch: the
+    // coalescing/retransmit stack must ride through repeated short cuts.
+    Scenario s("flap3", 3);
+    s.flap_link(6 * kSecond, 0, 1, /*down*/ 1500 * kMillisecond,
+                /*up*/ 3 * kSecond, /*cycles*/ 5);
+    s.degrade_link(10 * kSecond, 1, 2, /*drop*/ 0.10,
+                   /*extra*/ 15 * kMillisecond, /*for*/ 15 * kSecond);
+    return s;
+  }
+
+  if (name == "asym3") {
+    // One-way outages against the L2 site (0): first CA stops hearing L2
+    // long enough to cross the failover timeout (forcing a hub epoch bump
+    // while the old hub is still healthy), then L2 stops hearing FRA so
+    // its frontier goes stagnant and the resync path must catch FRA up.
+    Scenario s("asym3", 3);
+    s.partition_oneway(8 * kSecond, 0, 1, 6 * kSecond);
+    s.partition_oneway(20 * kSecond, 2, 0, 5 * kSecond);
+    return s;
+  }
+
+  if (name == "hostile5") {
+    // The acceptance scenario (ISSUE 6): heterogeneous 5-site matrix plus a
+    // latency reroute, a flapping link, a lossy link, an asymmetric
+    // partition, a site leave/rejoin, and diurnal load shifts. Every
+    // condition heals before the horizon, so a quiesced run must converge.
+    Scenario s("hostile5", 5);
+    s.set_link_latency(4 * kSecond, 0, 2, 95 * kMillisecond);  // reroute
+    s.flap_link(8 * kSecond, 1, 3, /*down*/ 2 * kSecond, /*up*/ 3 * kSecond,
+                /*cycles*/ 4);
+    s.degrade_link(10 * kSecond, 0, 4, /*drop*/ 0.05,
+                   /*extra*/ 20 * kMillisecond, /*for*/ 12 * kSecond);
+    s.partition_oneway(14 * kSecond, 2, 4, 8 * kSecond);
+    s.load_factor(18 * kSecond, 1, 2.5);
+    s.load_factor(18 * kSecond, 2, 0.3);
+    s.site_leave(26 * kSecond, 3, /*gone_for*/ 14 * kSecond);
+    s.load_factor(38 * kSecond, 1, 1.0);
+    s.load_factor(38 * kSecond, 2, 1.0);
+    s.set_link_latency(44 * kSecond, 0, 2, 44 * kMillisecond);  // route back
+    return s;
+  }
+
+  if (name == "diurnal5") {
+    // The load peak rotates around the planet while a midday latency swell
+    // raises every WAN cost by 50% and relaxes again.
+    Scenario s("diurnal5", 5);
+    SiteId prev = kNoSite;
+    Time t = 5 * kSecond;
+    for (SiteId peak : {1, 2, 3, 4}) {
+      s.load_factor(t, peak, 3.0);
+      if (prev != kNoSite) s.load_factor(t, prev, 1.0);
+      prev = peak;
+      t += 10 * kSecond;
+    }
+    s.load_factor(t, prev, 1.0);
+    s.scale_wan_latency(20 * kSecond, 1.5);
+    s.scale_wan_latency(40 * kSecond, 1.0 / 1.5);
+    return s;
+  }
+
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+std::vector<std::string> scenario_names() {
+  return {"calm3", "calm5", "flap3", "asym3", "hostile5", "diurnal5"};
+}
+
+LatencyModel scenario_latency(const Scenario& s) {
+  if (s.sites() == 3) return LatencyModel::paper_wan();
+  if (s.sites() == 5) return LatencyModel::wan5();
+  return LatencyModel(s.sites(), 150 * kMicrosecond, 50 * kMillisecond);
+}
+
+}  // namespace wankeeper::sim

@@ -1,0 +1,127 @@
+// Declarative hostile-WAN scenario engine. A Scenario is a scripted
+// schedule of WAN events — latency-matrix changes, link flaps and
+// degradations, symmetric and asymmetric partitions, whole-site leave and
+// rejoin, diurnal load shifts — that installs onto a sim::Network as
+// virtual-time callbacks. The same script object drives gtest sweeps,
+// tools/seed_hunt cells, and the lock bench, and serializes itself
+// (to_script) into failure artifacts so a red run carries its own WAN
+// weather report.
+//
+// Scenarios deliberately script *site-level* conditions only; node-level
+// crash schedules stay with sim::FailureInjector so the two compose. All
+// event times are relative to the install() call.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace wankeeper::sim {
+
+// Hooks into the system under test for events the network alone cannot
+// express: a whole site's processes going down (leave) and coming back
+// (rejoin). When unset, site leave falls back to isolating the site at the
+// network layer, which keeps the processes alive but unreachable.
+struct ScenarioHooks {
+  std::function<void(SiteId)> site_down;
+  std::function<void(SiteId)> site_up;
+};
+
+class Scenario {
+ public:
+  Scenario() = default;
+  Scenario(std::string name, std::size_t sites);
+
+  const std::string& name() const { return name_; }
+  std::size_t sites() const { return sites_; }
+  // Virtual time of the last scripted event; load generators should run at
+  // least this long so every event lands under traffic.
+  Time horizon() const { return horizon_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  // --- script builders (all return *this for chaining) ---
+
+  // Set the one-way latency of a link at `when` (both directions unless
+  // symmetric=false). In-flight messages keep the cost they paid at send.
+  Scenario& set_link_latency(Time when, SiteId a, SiteId b, Time one_way,
+                             bool symmetric = true);
+  // Scale every inter-site latency by `factor` at `when` (diurnal swell /
+  // relax). Factors compose multiplicatively with previous scales.
+  Scenario& scale_wan_latency(Time when, double factor);
+  // Degrade a->b (and b->a unless symmetric=false) from `when` for
+  // `duration` (0 = until the end of the run): lose `drop_rate` of
+  // messages, delay the rest by `extra_latency`.
+  Scenario& degrade_link(Time when, SiteId a, SiteId b, double drop_rate,
+                         Time extra_latency, Time duration = 0,
+                         bool symmetric = true);
+  // Flap a<->b: starting at `first_down`, cut for `down_for`, heal for
+  // `up_for`, `cycles` times.
+  Scenario& flap_link(Time first_down, SiteId a, SiteId b, Time down_for,
+                      Time up_for, int cycles);
+  // Symmetric partition from `when`, healing after `cut_for` (0 = stays).
+  Scenario& partition(Time when, SiteId a, SiteId b, Time cut_for = 0);
+  // Asymmetric partition: only from->to is cut — `to` stops hearing `from`
+  // while replies still flow. Heals after `cut_for` (0 = stays).
+  Scenario& partition_oneway(Time when, SiteId from, SiteId to,
+                             Time cut_for = 0);
+  // Site leaves the deployment at `when` (processes down via hooks, or
+  // network isolation without hooks) and rejoins `gone_for` later
+  // (0 = never).
+  Scenario& site_leave(Time when, SiteId s, Time gone_for = 0);
+  // Diurnal load shift: from `when`, site `s` issues load at `factor` times
+  // its base rate (load generators poll current_load()).
+  Scenario& load_factor(Time when, SiteId s, double factor);
+
+  // Schedule every event onto net.sim() relative to now, and reset runtime
+  // state (load factors). A Scenario may be installed once per run; copy it
+  // for reuse across runs in one process.
+  void install(Network& net, ScenarioHooks hooks = {});
+
+  // Current load multiplier for site `s` (1.0 until a load_factor event
+  // fires). Valid after install().
+  double current_load(SiteId s) const;
+
+  // One line per scripted event, ordered by time — the artifact format
+  // (EXPERIMENTS.md §hostile WANs).
+  std::string to_script() const;
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::string describe;
+    std::function<void(Network&, const ScenarioHooks&, Scenario&)> apply;
+  };
+
+  Scenario& add(Time when, std::string describe,
+                std::function<void(Network&, const ScenarioHooks&, Scenario&)> fn);
+
+  std::string name_ = "unnamed";
+  std::size_t sites_ = 3;
+  Time horizon_ = 0;
+  std::vector<Event> events_;
+  std::vector<double> load_;  // runtime: per-site load factor
+  ScenarioHooks hooks_;       // runtime: held through the run
+};
+
+// --- named scenario library (seed_hunt --scenario, CI, benches) ---
+
+// Build a library scenario by name; throws std::invalid_argument on an
+// unknown name. Current names:
+//   calm3     — 3 paper sites, no events (baseline).
+//   calm5     — 5 heterogeneous sites (wan5 matrix), no events.
+//   flap3     — 3 sites, VA<->CA flapping plus a lossy degraded CA<->FRA.
+//   asym3     — 3 sites, alternating one-way partitions against L2.
+//   hostile5  — the acceptance scenario: 5 heterogeneous sites, latency
+//               reroute, one flapping link, one asymmetric partition, one
+//               site leave/rejoin, diurnal load shifts. Fully healed by
+//               horizon() so quiesced runs must converge.
+//   diurnal5  — 5 sites, rotating load peaks and a global latency swell.
+Scenario make_scenario(const std::string& name);
+std::vector<std::string> scenario_names();
+// The latency matrix a library scenario expects (by its site count).
+LatencyModel scenario_latency(const Scenario& s);
+
+}  // namespace wankeeper::sim

@@ -594,7 +594,12 @@ void Broker::audit_applied(const zk::Envelope& env) {
   }
   // At the L2 site: a txn the L2 serialized itself requires the token home;
   // a replicated-up txn requires the token to (still) be at its origin.
-  if (site() == l2_site_ && txn.gseq != 0) {
+  // Scoped to gseqs of our own hub epoch: followers learn of a handover
+  // late (hub gossip travels between leaders), so after a failover the old
+  // hub site's followers would otherwise audit the new hub's txns against
+  // a token mirror from the previous regime.
+  if (site() == l2_site_ && txn.gseq != 0 &&
+      gseq_epoch(txn.gseq) == l2_epoch_) {
     if (txn.origin_zxid == kNoZxid) {
       for (const auto& key : keys) {
         if (broker_tokens_.owner(key) != kNoSite) {

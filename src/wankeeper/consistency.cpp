@@ -1,0 +1,201 @@
+#include "wankeeper/consistency.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace wankeeper::wk {
+
+std::string ClientOp::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "op#%llu s%lld.%u@site%d %s %s [%.3fs..%.3fs] v=%d %s",
+                static_cast<unsigned long long>(id),
+                static_cast<long long>(session), session_epoch, site,
+                kind == Kind::kWrite ? "WRITE" : "READ", key.c_str(),
+                static_cast<double>(start) / kSecond,
+                static_cast<double>(end) / kSecond, version,
+                ok ? "ok" : "failed");
+  return buf;
+}
+
+std::uint64_t OpHistory::begin(SessionId session, std::uint32_t session_epoch,
+                               SiteId site, ClientOp::Kind kind,
+                               const std::string& key, Time start) {
+  ClientOp op;
+  op.id = ops_.size();
+  op.session = session;
+  op.session_epoch = session_epoch;
+  op.site = site;
+  op.kind = kind;
+  op.key = key;
+  op.start = start;
+  ops_.push_back(std::move(op));
+  open_.push_back(true);
+  return ops_.back().id;
+}
+
+void OpHistory::finish(std::uint64_t id, Time end, bool ok,
+                       std::int32_t version) {
+  if (id >= ops_.size() || !open_[id]) return;
+  open_[id] = false;
+  ClientOp& op = ops_[id];
+  op.end = end;
+  op.ok = ok;
+  op.version = version;
+  if (ok) ++completed_ok_;
+}
+
+std::string ConsistencyViolation::format() const {
+  std::string out = guarantee + " violated on " + key + ": " + detail + "\n";
+  for (const ClientOp& op : witness) out += "    " + op.describe() + "\n";
+  return out;
+}
+
+namespace {
+
+struct KeyOps {
+  std::vector<const ClientOp*> ok_writes;
+  std::vector<const ClientOp*> ok_reads;
+  std::vector<const ClientOp*> write_attempts;  // ok, failed, or still open
+};
+
+void check_write_chain(const std::string& key, const KeyOps& k,
+                       std::vector<ConsistencyViolation>* out) {
+  // Duplicate versions: two committed writes can never produce the same
+  // version of one record.
+  auto by_version = k.ok_writes;
+  std::sort(by_version.begin(), by_version.end(),
+            [](const ClientOp* a, const ClientOp* b) {
+              if (a->version != b->version) return a->version < b->version;
+              return a->id < b->id;
+            });
+  for (std::size_t i = 1; i < by_version.size(); ++i) {
+    if (by_version[i]->version == by_version[i - 1]->version) {
+      out->push_back({"write-linearizability", key,
+                      "version " + std::to_string(by_version[i]->version) +
+                          " produced twice",
+                      {*by_version[i - 1], *by_version[i]}});
+    }
+  }
+  // Real-time order: walking versions downward, remember the earliest
+  // completion among higher-versioned writes; a lower-versioned write that
+  // *started* after that completion happened-after it in real time, yet
+  // serialized before it — a cycle no single total order can explain.
+  const ClientOp* min_end_higher = nullptr;
+  for (auto it = by_version.rbegin(); it != by_version.rend(); ++it) {
+    const ClientOp* w = *it;
+    if (min_end_higher != nullptr && min_end_higher->end < w->start) {
+      out->push_back(
+          {"write-linearizability", key,
+           "v" + std::to_string(min_end_higher->version) +
+               " completed before v" + std::to_string(w->version) +
+               " started, but serialized after it",
+           {*min_end_higher, *w}});
+    }
+    if (min_end_higher == nullptr || w->end < min_end_higher->end) {
+      min_end_higher = w;
+    }
+  }
+}
+
+void check_future_reads(const std::string& key, const KeyOps& k,
+                        std::vector<ConsistencyViolation>* out) {
+  // An observed version v needs at least v write attempts (the create that
+  // births the record is version 0) started before the read returned. A
+  // sorted start-time list gives the count in O(log n) per read.
+  std::vector<Time> starts;
+  starts.reserve(k.write_attempts.size());
+  for (const ClientOp* w : k.write_attempts) starts.push_back(w->start);
+  std::sort(starts.begin(), starts.end());
+  for (const ClientOp* r : k.ok_reads) {
+    if (r->version <= 0) continue;
+    const auto started =
+        std::upper_bound(starts.begin(), starts.end(), r->end) - starts.begin();
+    if (r->version > static_cast<std::int32_t>(started)) {
+      out->push_back({"no-future-reads", key,
+                      "observed v" + std::to_string(r->version) + " but only " +
+                          std::to_string(started) +
+                          " write attempt(s) had started",
+                      {*r}});
+    }
+  }
+}
+
+void check_session(const std::string& key,
+                   const std::vector<const ClientOp*>& session_ops,
+                   std::vector<ConsistencyViolation>* out) {
+  // session_ops: one (session, epoch)'s completed ok ops on one key, in
+  // program order. The client pipelines FIFO over one connection, so a
+  // read issued after a write — even a still-in-flight one — must observe
+  // it (the session queue serves them in order).
+  const ClientOp* last_write = nullptr;
+  const ClientOp* last_read = nullptr;
+  for (const ClientOp* op : session_ops) {
+    if (op->kind == ClientOp::Kind::kWrite) {
+      if (last_write != nullptr && op->version <= last_write->version) {
+        out->push_back({"monotonic-writes", key,
+                        "session wrote v" + std::to_string(op->version) +
+                            " after its own v" +
+                            std::to_string(last_write->version),
+                        {*last_write, *op}});
+      }
+      last_write = op;
+    } else {
+      if (op->version < 0) continue;
+      if (last_write != nullptr && op->version < last_write->version) {
+        out->push_back({"read-your-writes", key,
+                        "read observed v" + std::to_string(op->version) +
+                            " after the session's own write of v" +
+                            std::to_string(last_write->version),
+                        {*last_write, *op}});
+      }
+      if (last_read != nullptr && op->version < last_read->version) {
+        out->push_back({"monotonic-reads", key,
+                        "read observed v" + std::to_string(op->version) +
+                            " after an earlier read observed v" +
+                            std::to_string(last_read->version),
+                        {*last_read, *op}});
+      }
+      last_read = op;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ConsistencyViolation> ConsistencyChecker::check(
+    const OpHistory& history) {
+  std::vector<ConsistencyViolation> out;
+
+  std::map<std::string, KeyOps> keys;
+  // (session, epoch, key) -> completed ok ops in program order. Op ids are
+  // assigned in begin() order and each client runs closed-loop or pipelines
+  // FIFO, so ascending id is session program order.
+  std::map<std::tuple<SessionId, std::uint32_t, std::string>,
+           std::vector<const ClientOp*>>
+      sessions;
+
+  for (const ClientOp& op : history.ops()) {
+    KeyOps& k = keys[op.key];
+    if (op.kind == ClientOp::Kind::kWrite) k.write_attempts.push_back(&op);
+    if (!op.ok || op.end == 0) continue;  // failed or never finished
+    if (op.kind == ClientOp::Kind::kWrite) {
+      k.ok_writes.push_back(&op);
+    } else {
+      k.ok_reads.push_back(&op);
+    }
+    sessions[{op.session, op.session_epoch, op.key}].push_back(&op);
+  }
+
+  for (const auto& [key, k] : keys) {
+    check_write_chain(key, k, &out);
+    check_future_reads(key, k, &out);
+  }
+  for (const auto& [skey, ops] : sessions) {
+    check_session(std::get<2>(skey), ops, &out);
+  }
+  return out;
+}
+
+}  // namespace wankeeper::wk

@@ -1,0 +1,94 @@
+// Client-visible consistency checking. The sweep harness records every
+// completed client operation — who (session + site), what (key, read or
+// write), when (virtual start/end), and which version it produced or
+// observed — and the checker verifies after the run that the history obeys
+// WanKeeper's client contract (paper §II-D):
+//
+//   per-key write linearizability — committed writes to one record form a
+//     single total order (the version chain) consistent with real time: a
+//     write that finished before another started must carry the smaller
+//     version, and no version is produced twice;
+//   read-your-writes — a read that starts after the same session's write
+//     completed observes that write's version or newer;
+//   monotonic reads — a session's successive reads of a key never observe
+//     an older version than an earlier read did;
+//   monotonic writes (session FIFO) — a session's own committed writes to a
+//     key carry strictly increasing versions;
+//   no reads from the future — an observed version is bounded by the write
+//     attempts that had actually started by the time the read returned.
+//
+// Reads are deliberately NOT checked for linearizability: WanKeeper serves
+// reads locally and the paper's §II-D example licenses bounded staleness
+// (tested separately in tests/test_consistency.cpp). Under crash schedules
+// a timed-out write may still commit, so the write chain is allowed gaps —
+// only duplicates and real-time inversions are violations.
+//
+// Each violation carries a witness: the minimal operation subsequence that
+// exhibits it, formatted for failure artifacts (tools/seed_hunt).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wankeeper::wk {
+
+struct ClientOp {
+  enum class Kind { kWrite, kRead };
+
+  std::uint64_t id = 0;  // history-assigned, by begin() order
+  SessionId session = kNoSession;
+  // Reconnect epoch: a session that expired and reconnected is a *new*
+  // session for guarantee purposes (ZooKeeper semantics) — the harness
+  // bumps this on every reconnect and the checker scopes session
+  // guarantees to (session, session_epoch).
+  std::uint32_t session_epoch = 0;
+  SiteId site = kNoSite;
+  Kind kind = Kind::kWrite;
+  std::string key;
+  Time start = 0;
+  Time end = 0;
+  bool ok = false;           // completed with Rc::kOk
+  std::int32_t version = -1; // produced (write) / observed (read); -1 unknown
+
+  std::string describe() const;
+};
+
+// Append-only operation log. begin() at issue time, finish() from the
+// completion callback; ops whose finish never arrives (client crashed or
+// the run stopped) stay open and are ignored by the checker except as
+// potential writers in the future-read bound.
+class OpHistory {
+ public:
+  std::uint64_t begin(SessionId session, std::uint32_t session_epoch,
+                      SiteId site, ClientOp::Kind kind, const std::string& key,
+                      Time start);
+  void finish(std::uint64_t id, Time end, bool ok, std::int32_t version);
+
+  const std::vector<ClientOp>& ops() const { return ops_; }
+  std::size_t completed_ok() const { return completed_ok_; }
+
+ private:
+  std::vector<ClientOp> ops_;
+  std::vector<bool> open_;
+  std::size_t completed_ok_ = 0;
+};
+
+struct ConsistencyViolation {
+  std::string guarantee;  // e.g. "read-your-writes"
+  std::string key;
+  std::string detail;
+  std::vector<ClientOp> witness;  // minimal op subsequence
+
+  std::string format() const;
+};
+
+class ConsistencyChecker {
+ public:
+  // Verify the whole history; returns every violation found (empty = clean).
+  static std::vector<ConsistencyViolation> check(const OpHistory& history);
+};
+
+}  // namespace wankeeper::wk

@@ -9,13 +9,16 @@
 // must be invisible to every consistency property.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <set>
 
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "wankeeper/consistency.h"
 #include "wankeeper/deployment.h"
+#include "wankeeper/sweep_harness.h"
 
 namespace wankeeper {
 namespace {
@@ -306,6 +309,202 @@ TEST(Consistency, StaleReadAllowedButConvergent) {
   EXPECT_NE(early, "NEW");  // too fresh to have crossed the WAN
   EXPECT_EQ(late, "NEW");   // one-way convergence
 }
+
+// ------------------------------------------------------------------------
+// Client-visible consistency checker (wankeeper/consistency.h): the sweep
+// harness records every op and the checker replays the history. First the
+// detector itself: deliberately corrupted histories — each one the trace a
+// weakened guard would leave behind — must be flagged, and the clean
+// equivalent must not. Without these, a silently-reverted guard would turn
+// every scenario sweep green while the system forks.
+
+namespace checker {
+
+constexpr Time kMs = kMillisecond;
+
+std::uint64_t write(wk::OpHistory& h, SessionId s, std::uint32_t epoch,
+                    Time start, Time end, std::int32_t version,
+                    const std::string& key = "/k") {
+  const auto id = h.begin(s, epoch, /*site=*/0, wk::ClientOp::Kind::kWrite,
+                          key, start);
+  h.finish(id, end, /*ok=*/true, version);
+  return id;
+}
+
+std::uint64_t read(wk::OpHistory& h, SessionId s, std::uint32_t epoch,
+                   Time start, Time end, std::int32_t version,
+                   const std::string& key = "/k") {
+  const auto id = h.begin(s, epoch, /*site=*/0, wk::ClientOp::Kind::kRead,
+                          key, start);
+  h.finish(id, end, /*ok=*/true, version);
+  return id;
+}
+
+std::vector<std::string> guarantees(const wk::OpHistory& h) {
+  std::vector<std::string> out;
+  for (const auto& v : wk::ConsistencyChecker::check(h)) {
+    out.push_back(v.guarantee);
+  }
+  return out;
+}
+
+}  // namespace checker
+
+TEST(ConsistencyChecker, CleanInterleavedHistoryPasses) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 10 * kMs, 1);
+  write(h, 2, 0, 20 * kMs, 90 * kMs, 2);  // slow WAN write, fine
+  read(h, 1, 0, 50 * kMs, 60 * kMs, 1);   // stale read: allowed (causal)
+  read(h, 1, 0, 95 * kMs, 99 * kMs, 2);
+  write(h, 1, 0, 100 * kMs, 110 * kMs, 3);
+  read(h, 1, 0, 120 * kMs, 125 * kMs, 3);
+  EXPECT_TRUE(wk::ConsistencyChecker::check(h).empty());
+}
+
+TEST(ConsistencyChecker, TimedOutWriteMayStillCommitWithoutViolation) {
+  using namespace checker;
+  wk::OpHistory h;
+  // A write whose reply was lost stays open; the version it (maybe)
+  // produced is a legal gap in the chain, not a duplicate.
+  h.begin(1, 0, 0, wk::ClientOp::Kind::kWrite, "/k", 0);
+  write(h, 2, 0, 10 * kMs, 20 * kMs, 2);
+  write(h, 2, 0, 30 * kMs, 40 * kMs, 3);
+  EXPECT_TRUE(wk::ConsistencyChecker::check(h).empty());
+}
+
+TEST(ConsistencyChecker, DetectsDuplicateVersion) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 10 * kMs, 1);
+  write(h, 2, 0, 20 * kMs, 30 * kMs, 1);  // split-brain: v1 minted twice
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "write-linearizability");
+}
+
+TEST(ConsistencyChecker, DetectsRealTimeInversionOfVersions) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 10 * kMs, 5);        // v5 done by 10ms
+  write(h, 2, 0, 20 * kMs, 30 * kMs, 3); // started later, serialized earlier
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "write-linearizability");
+}
+
+TEST(ConsistencyChecker, DetectsReadFromTheFuture) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 10 * kMs, 1);
+  read(h, 2, 0, 15 * kMs, 20 * kMs, 7);  // nothing near v7 even started
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "no-future-reads");
+}
+
+TEST(ConsistencyChecker, DetectsReadYourWritesRegression) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 7, 0, 0, 10 * kMs, 4);
+  write(h, 1, 0, 0, 5 * kMs, 1);
+  write(h, 1, 0, 6 * kMs, 7 * kMs, 2);
+  write(h, 1, 0, 8 * kMs, 9 * kMs, 3);
+  read(h, 7, 0, 20 * kMs, 25 * kMs, 3);  // own write was v4
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "read-your-writes");
+}
+
+TEST(ConsistencyChecker, DetectsMonotonicReadRegression) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 5 * kMs, 1);
+  write(h, 1, 0, 6 * kMs, 10 * kMs, 2);
+  read(h, 7, 0, 20 * kMs, 25 * kMs, 2);
+  read(h, 7, 0, 30 * kMs, 35 * kMs, 1);  // went back in time
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "monotonic-reads");
+}
+
+TEST(ConsistencyChecker, DetectsMonotonicWriteRegression) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 40 * kMs, 2, "/a");
+  write(h, 1, 0, 1 * kMs, 50 * kMs, 1, "/a");  // session FIFO broken
+  const auto got = guarantees(h);
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_NE(std::find(got.begin(), got.end(), "monotonic-writes"), got.end());
+}
+
+TEST(ConsistencyChecker, ReconnectScopesSessionGuarantees) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 9, 0, 0, 2 * kMs, 1);
+  write(h, 9, 0, 3 * kMs, 4 * kMs, 2);
+  write(h, 9, 0, 5 * kMs, 6 * kMs, 3);
+  write(h, 1, /*epoch=*/0, 7 * kMs, 12 * kMs, 4);
+  // Same session id after reconnect (new epoch): ZooKeeper semantics say
+  // this is a fresh session, so an older read is NOT a RYW violation...
+  read(h, 1, /*epoch=*/1, 20 * kMs, 25 * kMs, 2);
+  EXPECT_TRUE(wk::ConsistencyChecker::check(h).empty());
+  // ...but within one epoch it is.
+  write(h, 1, /*epoch=*/1, 30 * kMs, 35 * kMs, 5);
+  read(h, 1, /*epoch=*/1, 40 * kMs, 45 * kMs, 2);
+  const auto got = guarantees(h);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "read-your-writes");
+}
+
+TEST(ConsistencyChecker, WitnessCarriesTheMinimalOpSubsequence) {
+  using namespace checker;
+  wk::OpHistory h;
+  write(h, 1, 0, 0, 10 * kMs, 1);
+  write(h, 2, 0, 20 * kMs, 30 * kMs, 1);
+  const auto violations = wk::ConsistencyChecker::check(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].witness.size(), 2u);
+  const std::string formatted = violations[0].format();
+  EXPECT_NE(formatted.find("WRITE"), std::string::npos);
+  EXPECT_NE(formatted.find("/k"), std::string::npos);
+}
+
+// Property sweep: the harness's mixed read/write load over a shared key
+// space keeps tokens migrating (and the tokenless path through the L2 hub
+// busy), and the recorded history must satisfy RYW + monotonic reads +
+// write linearizability for every seed, in both batching modes.
+class RecordedHistorySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RecordedHistorySweep, MixedLoadHistoryIsCleanAcrossTokenMigration) {
+  const auto [seed, batching] = GetParam();
+  wk::DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  wk::LoadedDeployment d(seed, cfg);
+  ASSERT_TRUE(d.deploy.wait_ready());
+  d.keys = 8;             // few keys -> heavy cross-site contention
+  d.read_fraction = 0.5;  // plenty of reads to check against the chains
+  d.start_mixed_load();
+  d.sim.run_for(40 * kSecond);
+  d.stop = true;
+  d.sim.run_for(10 * kSecond);
+
+  wk::SweepResult r;
+  wk::finish_sweep(d, &r);
+  EXPECT_TRUE(r.audit_clean) << r.first_violation;
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.consistency_clean)
+      << r.consistency_violations << " violation(s), first:\n"
+      << r.first_consistency_witness;
+  EXPECT_GT(r.completed_total, 100u);
+  EXPECT_GT(d.sim.obs().metrics.counter_total("broker.l2_served"), 0u)
+      << "the sweep never exercised the L2 hub path";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordedHistorySweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                                            ::testing::Bool()),
+                         sweep_param_name);
 
 }  // namespace
 }  // namespace wankeeper

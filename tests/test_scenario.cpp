@@ -1,0 +1,212 @@
+// Scenario engine tests: the declarative hostile-WAN scripts (sim/scenario.h)
+// drive the simulated network on schedule, and full deployments driven
+// through them stay safe — token audit, convergence, and the client-visible
+// consistency checker all come back clean (run_scenario_sweep).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/scenario.h"
+#include "wankeeper/sweep_harness.h"
+
+namespace wankeeper {
+namespace {
+
+// --------------------------------------------------------- engine mechanics
+
+TEST(Scenario, FlapCutsAndHealsOnSchedule) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(3, 100, 1000));
+  sim::Scenario sc("flap-test", 3);
+  sc.flap_link(/*first_down=*/1 * kSecond, 0, 1, /*down_for=*/2 * kSecond,
+               /*up_for=*/3 * kSecond, /*cycles=*/2);
+  sc.install(net, {});
+
+  auto cut_at = [&](Time t, bool want) {
+    sim.run_until(t);
+    EXPECT_EQ(net.partitioned(0, 1), want) << "at " << t;
+    EXPECT_EQ(net.partitioned(1, 0), want) << "flap is symmetric, at " << t;
+  };
+  cut_at(500 * kMillisecond, false);
+  cut_at(1500 * kMillisecond, true);   // cycle 1 down at 1s
+  cut_at(3500 * kMillisecond, false);  // healed at 3s
+  cut_at(6500 * kMillisecond, true);   // cycle 2 down at 6s
+  cut_at(8500 * kMillisecond, false);  // healed at 8s, stays up
+  EXPECT_GE(sc.horizon(), 8 * kSecond);
+}
+
+TEST(Scenario, OneWayPartitionEventCutsOneDirection) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(3, 100, 1000));
+  sim::Scenario sc("asym-test", 3);
+  sc.partition_oneway(/*when=*/1 * kSecond, 0, 2, /*cut_for=*/2 * kSecond);
+  sc.install(net, {});
+  sim.run_until(1500 * kMillisecond);
+  EXPECT_TRUE(net.partitioned(0, 2));
+  EXPECT_FALSE(net.partitioned(2, 0));
+  sim.run_until(3500 * kMillisecond);
+  EXPECT_FALSE(net.partitioned(0, 2));
+}
+
+TEST(Scenario, SiteLeaveInvokesHooksAndFallsBackToIsolation) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(3, 100, 1000));
+  sim::Scenario sc("leave-test", 3);
+  sc.site_leave(/*when=*/1 * kSecond, 2, /*gone_for=*/2 * kSecond);
+
+  std::vector<std::pair<const char*, SiteId>> calls;
+  sim::ScenarioHooks hooks;
+  hooks.site_down = [&](SiteId s) { calls.emplace_back("down", s); };
+  hooks.site_up = [&](SiteId s) { calls.emplace_back("up", s); };
+  sc.install(net, hooks);
+  sim.run_until(5 * kSecond);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_STREQ(calls[0].first, "down");
+  EXPECT_EQ(calls[0].second, 2);
+  EXPECT_STREQ(calls[1].first, "up");
+  EXPECT_EQ(calls[1].second, 2);
+
+  // Without hooks the engine falls back to cutting every link of the site.
+  sim::Simulator sim2;
+  sim::Network net2(sim2, sim::LatencyModel(3, 100, 1000));
+  sim::Scenario sc2("leave-test2", 3);
+  sc2.site_leave(1 * kSecond, 2, 2 * kSecond);
+  sc2.install(net2, {});
+  sim2.run_until(1500 * kMillisecond);
+  EXPECT_TRUE(net2.partitioned(0, 2));
+  EXPECT_TRUE(net2.partitioned(2, 1));
+  sim2.run_until(3500 * kMillisecond);
+  EXPECT_FALSE(net2.partitioned(0, 2));
+}
+
+TEST(Scenario, LoadFactorShiftsPerSiteLoad) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(3, 100, 1000));
+  sim::Scenario sc("load-test", 3);
+  sc.load_factor(/*when=*/1 * kSecond, /*site=*/1, /*factor=*/2.5);
+  sc.load_factor(/*when=*/3 * kSecond, /*site=*/1, /*factor=*/1.0);
+  sc.install(net, {});
+  EXPECT_DOUBLE_EQ(sc.current_load(1), 1.0);
+  sim.run_until(2 * kSecond);
+  EXPECT_DOUBLE_EQ(sc.current_load(1), 2.5);
+  EXPECT_DOUBLE_EQ(sc.current_load(0), 1.0);  // other sites untouched
+  sim.run_until(4 * kSecond);
+  EXPECT_DOUBLE_EQ(sc.current_load(1), 1.0);
+}
+
+TEST(Scenario, ScriptedLatencyChangeRoutesTraffic) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(3, 100, 1000, /*jitter=*/0.0));
+  sim::Scenario sc("route-test", 3);
+  sc.set_link_latency(/*when=*/1 * kSecond, 0, 1, /*one_way=*/9 * kMillisecond);
+  sc.install(net, {});
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(net.latency().base(0, 1), 9 * kMillisecond);
+  EXPECT_EQ(net.latency().base(1, 0), 9 * kMillisecond);
+  EXPECT_EQ(net.latency().base(0, 2), 1000);
+}
+
+TEST(Scenario, LibraryNamesResolveAndUnknownThrows) {
+  for (const auto& name : sim::scenario_names()) {
+    const sim::Scenario sc = sim::make_scenario(name);
+    EXPECT_EQ(sc.name(), name);
+    EXPECT_GE(sc.sites(), 3u);
+    if (sc.event_count() > 0) EXPECT_GT(sc.horizon(), 0);
+    EXPECT_NE(sc.to_script().find(name), std::string::npos);
+  }
+  EXPECT_THROW(sim::make_scenario("no-such-scenario"), std::invalid_argument);
+}
+
+TEST(Scenario, ScriptListsEveryEventInTimeOrder) {
+  const sim::Scenario sc = sim::make_scenario("hostile5");
+  const std::string script = sc.to_script();
+  // The acceptance scenario carries every event class the engine supports.
+  for (const char* needle :
+       {"set_latency", "partition 1<->3", "degrade", "partition_oneway",
+        "load_factor", "site_leave", "site_rejoin", "heal"}) {
+    EXPECT_NE(script.find(needle), std::string::npos) << needle << "\n" << script;
+  }
+}
+
+// ------------------------------------------------- full-deployment sweeps
+
+using SweepParam = std::tuple<std::uint64_t, bool>;
+
+std::string sweep_param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_batched" : "_unbatched");
+}
+
+class HostileScenarioSweep : public ::testing::TestWithParam<SweepParam> {};
+
+class HostileScenarioSweepSlow : public HostileScenarioSweep {
+ protected:
+  void SetUp() override {
+    if (std::getenv("WK_SLOW_TESTS") == nullptr) {
+      GTEST_SKIP() << "set WK_SLOW_TESTS=1 (or run ctest -C slow -L slow)";
+    }
+  }
+};
+
+void expect_clean(const wk::SweepResult& r, const char* scenario) {
+  EXPECT_TRUE(r.audit_clean) << scenario << ": " << r.first_violation;
+  EXPECT_TRUE(r.converged) << scenario << ": sites diverged";
+  EXPECT_TRUE(r.consistency_clean)
+      << scenario << ": " << r.consistency_violations
+      << " consistency violation(s)\n" << r.first_consistency_witness;
+  EXPECT_GT(r.completed_total, 100u) << scenario << ": load barely ran";
+}
+
+// The acceptance scenario: heterogeneous 5-site matrix, a flapping link, a
+// one-way partition, a diurnal load shift, and a whole-site leave/rejoin.
+TEST_P(HostileScenarioSweep, Hostile5KeepsClientContract) {
+  const auto [seed, batching] = GetParam();
+  expect_clean(wk::run_scenario_sweep(seed, batching, "hostile5"), "hostile5");
+}
+
+TEST_P(HostileScenarioSweep, FlapAndDiurnalKeepClientContract) {
+  const auto [seed, batching] = GetParam();
+  expect_clean(wk::run_scenario_sweep(seed, batching, "flap3"), "flap3");
+  expect_clean(wk::run_scenario_sweep(seed, batching, "diurnal5"), "diurnal5");
+}
+
+TEST_P(HostileScenarioSweepSlow, Hostile5KeepsClientContract) {
+  const auto [seed, batching] = GetParam();
+  expect_clean(wk::run_scenario_sweep(seed, batching, "hostile5"), "hostile5");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileScenarioSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Bool()),
+                         sweep_param_name);
+
+// The CI scenario-sweep job covers seeds 1-40 via tools/seed_hunt; the slow
+// tier keeps a disjoint window so the matrices compound instead of overlap.
+INSTANTIATE_TEST_SUITE_P(WideSeeds, HostileScenarioSweepSlow,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(41,
+                                                                            61),
+                                            ::testing::Bool()),
+                         sweep_param_name);
+
+// asym3 aims a one-way partition at the hub: the cut-off site promotes
+// itself (it cannot distinguish a dead hub from an asymmetric cut), and the
+// new hub starts serving before recovering fan-outs it missed during the
+// cut — a known hub-handover hole (ROADMAP: "Hub handover catch-up"). This
+// test pins the detection contract: replicas still converge, and if the
+// run forked in any client-visible way, the consistency checker must say
+// so. When the catch-up protocol lands, a fully clean run also passes.
+TEST(Scenario, Asym3ForkIsDetectedByConsistencyChecker) {
+  const wk::SweepResult r = wk::run_scenario_sweep(5, false, "asym3");
+  EXPECT_TRUE(r.converged) << "replicas must converge once links heal";
+  EXPECT_GT(r.completed_total, 100u);
+  if (!r.ok()) {
+    EXPECT_FALSE(r.consistency_clean)
+        << "a failing asym3 run must be caught by the client-visible "
+           "checker, not pass silently";
+    EXPECT_GT(r.consistency_violations, 0u);
+    EXPECT_FALSE(r.first_consistency_witness.empty());
+  }
+}
+
+}  // namespace
+}  // namespace wankeeper

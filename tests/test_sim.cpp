@@ -231,6 +231,122 @@ TEST(Network, IsolateSiteCutsAllPairs) {
   EXPECT_FALSE(net.partitioned(0, 1));
 }
 
+TEST(Network, OneWayPartitionDropsExactlyOneDirection) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000));
+  Recorder a(sim, "a"), b(sim, "b");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  net.partition_oneway(0, 1, true);
+  EXPECT_TRUE(net.partitioned(0, 1));
+  EXPECT_FALSE(net.partitioned(1, 0));
+  net.send(ida, idb, sim::make_message<PingMsg>());  // cut direction
+  net.send(idb, ida, sim::make_message<PingMsg>());  // open direction
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, OneWayHealRestoresOnlyThatDirection) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000));
+  Recorder a(sim, "a"), b(sim, "b");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  net.partition_oneway(0, 1, true);
+  net.partition_oneway(1, 0, true);
+  net.partition_oneway(0, 1, false);  // heal one leg of a full cut
+  net.send(ida, idb, sim::make_message<PingMsg>());
+  net.send(idb, ida, sim::make_message<PingMsg>());
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Network, SymmetricPartitionIsBothOneWayCuts) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000));
+  net.partition(0, 1, true);
+  EXPECT_TRUE(net.partitioned(0, 1));
+  EXPECT_TRUE(net.partitioned(1, 0));
+  net.partition(0, 1, false);
+  EXPECT_FALSE(net.partitioned(0, 1));
+  EXPECT_FALSE(net.partitioned(1, 0));
+}
+
+TEST(Network, InFlightMessageHonorsSendTimeLatency) {
+  // A scripted latency change applies to sends after the change; messages
+  // already on the wire keep the cost sampled when they were sent.
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000, /*jitter=*/0.0));
+  Recorder a(sim, "a"), b(sim, "b");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  net.send(ida, idb, sim::make_message<PingMsg>());  // in flight at old cost
+  sim.at(500, [&]() {
+    net.set_latency(0, 1, 50000);
+    net.send(ida, idb, sim::make_message<PingMsg>());
+  });
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(std::get<2>(b.received[0]), 1000);          // send-time cost
+  EXPECT_EQ(std::get<2>(b.received[1]), 500 + 50000);   // rerouted cost
+}
+
+TEST(Network, SetLatencyAsymmetricChangesOneDirection) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000, /*jitter=*/0.0));
+  net.set_latency(0, 1, 7777, /*symmetric=*/false);
+  Recorder a(sim, "a"), b(sim, "b");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  net.send(ida, idb, sim::make_message<PingMsg>());
+  net.send(idb, ida, sim::make_message<PingMsg>());
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(std::get<2>(b.received[0]), 7777);
+  EXPECT_EQ(std::get<2>(a.received[0]), 1000);
+}
+
+TEST(Network, DegradedLinkAddsLatencyAndDropsDirectionally) {
+  sim::Simulator sim(3);
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000, /*jitter=*/0.0));
+  Recorder a(sim, "a"), b(sim, "b");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  net.degrade_link(0, 1, /*drop_rate=*/0.3, /*extra_latency=*/2000);
+  for (int i = 0; i < 1000; ++i) net.send(ida, idb, sim::make_message<PingMsg>());
+  net.send(idb, ida, sim::make_message<PingMsg>());  // reverse leg untouched
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), 700.0, 90.0);
+  for (const auto& r : b.received) EXPECT_EQ(std::get<2>(r), 1000 + 2000);
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(std::get<2>(a.received[0]), 1000);
+
+  // Clearing the degradation restores the pristine link.
+  net.degrade_link(0, 1, 0.0, 0);
+  EXPECT_TRUE(net.link(0, 1).pristine());
+}
+
+TEST(Network, ScaleWanLatencyLeavesIntraSiteAlone) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel(2, 100, 1000, /*jitter=*/0.0));
+  net.scale_wan_latency(3.0);
+  Recorder a(sim, "a"), b(sim, "b"), c(sim, "c");
+  const NodeId ida = net.add_node(a, 0);
+  const NodeId idb = net.add_node(b, 1);
+  const NodeId idc = net.add_node(c, 0);
+  net.send(ida, idb, sim::make_message<PingMsg>());
+  net.send(ida, idc, sim::make_message<PingMsg>());
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(std::get<2>(b.received[0]), 3000);
+  EXPECT_EQ(std::get<2>(c.received[0]), 100);
+}
+
 TEST(LatencyModel, PaperWanIsSymmetricWithSubMsIntra) {
   const auto lat = sim::LatencyModel::paper_wan();
   ASSERT_EQ(lat.sites(), 3u);

@@ -1,15 +1,19 @@
-// CI seed hunter: run the canonical crash sweep (src/wankeeper/sweep_harness.h)
-// over a seed range in both batching modes and dump a flight-recorder
-// artifact for every failure. The nightly workflow walks a rolling ~1000-seed
-// window with this tool; a developer reproduces a red run locally with the
-// exact seed it prints (see EXPERIMENTS.md).
+// CI seed hunter: run the canonical crash sweep or a named hostile-WAN
+// scenario sweep (src/wankeeper/sweep_harness.h) over a seed range in both
+// batching modes and dump a flight-recorder artifact for every failure. The
+// nightly workflow walks a rolling ~1000-seed window of the crash sweep plus
+// scenario shards with this tool; a developer reproduces a red run locally
+// with the exact seed and scenario it prints (see EXPERIMENTS.md).
 //
-//   seed_hunt --start 1 --count 100 [--batching 0|1|both] [--out DIR]
+//   seed_hunt --start 1 --count 100 [--batching 0|1|both]
+//             [--scenario crash|calm3|flap3|asym3|hostile5|diurnal5|...]
+//             [--out DIR]
 //
 // Exit status: 0 when every (seed, mode) cell passed, 1 otherwise.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -24,6 +28,7 @@ struct Options {
   std::uint64_t start = 1;
   std::uint64_t count = 50;
   int batching = 2;  // 0, 1, or 2 = both
+  std::string scenario = "crash";
   std::string out_dir = ".";
 };
 
@@ -43,6 +48,10 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt->batching = std::strcmp(v, "both") == 0 ? 2 : std::stoi(v);
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->scenario = v;
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -52,14 +61,34 @@ bool parse(int argc, char** argv, Options* opt) {
       return false;
     }
   }
+  if (opt->scenario != "crash") {
+    // Fail fast on a typo'd scenario name instead of 2N red cells.
+    try {
+      sim::make_scenario(opt->scenario);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\nknown scenarios: crash", e.what());
+      for (const auto& n : sim::scenario_names()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+  }
   return true;
 }
 
-// On failure, dump the full metrics registry plus the slowest traces so the
-// CI artifact carries everything needed to start debugging without a rerun.
+// On failure, dump the full metrics registry plus the slowest traces, the
+// scenario script that was running, and the consistency checker's violation
+// witness (the minimal op subsequence) so the CI artifact carries everything
+// needed to start debugging without a rerun.
 void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
                     std::uint64_t seed, bool batching,
+                    const std::string& scenario_script,
                     const std::string& out_dir) {
+  // ofstream fails silently on a missing directory — a CI failure losing
+  // its only witness is the worst possible outcome, so create it here.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
   const std::string stem = out_dir + "/seed" + std::to_string(seed) +
                            (batching ? "_batched" : "_unbatched");
   {
@@ -73,8 +102,17 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
       << "audit_clean: " << r.audit_clean << "\n"
       << "first_violation: " << r.first_violation << "\n"
       << "converged: " << r.converged << "\n"
-      << "completed_total: " << r.completed_total << "\n\n"
-      << d.sim.obs().tracer.breakdown_table() << "\n";
+      << "completed_total: " << r.completed_total << "\n"
+      << "consistency_clean: " << r.consistency_clean << " ("
+      << r.consistency_violations << " violation(s))\n";
+    if (!r.first_consistency_witness.empty()) {
+      f << "\nconsistency witness (minimal op subsequence):\n"
+        << r.first_consistency_witness;
+    }
+    if (!scenario_script.empty()) {
+      f << "\nscenario script:\n" << scenario_script;
+    }
+    f << "\n" << d.sim.obs().tracer.breakdown_table() << "\n";
     for (const auto* t : d.sim.obs().tracer.slowest(20)) {
       f << d.sim.obs().tracer.format_trace(t->id) << "\n";
     }
@@ -82,20 +120,34 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
   std::printf("artifacts: %s.{metrics.json,report.txt}\n", stem.c_str());
 }
 
-bool run_cell(std::uint64_t seed, bool batching, const std::string& out_dir) {
+bool run_cell(std::uint64_t seed, bool batching, const std::string& scenario,
+              const std::string& out_dir) {
   wk::DeploymentConfig cfg;
   if (batching) cfg.enable_batching();
-  wk::LoadedDeployment d(seed, cfg);
-  const wk::SweepResult r = wk::run_crash_sweep_on(d, seed);
+  std::unique_ptr<wk::LoadedDeployment> d;
+  wk::SweepResult r;
+  std::string script;
+  if (scenario == "crash") {
+    d = std::make_unique<wk::LoadedDeployment>(seed, cfg);
+    r = wk::run_crash_sweep_on(*d, seed);
+  } else {
+    sim::Scenario sc = sim::make_scenario(scenario);
+    cfg.sites = sc.sites();
+    d = std::make_unique<wk::LoadedDeployment>(seed, cfg,
+                                               sim::scenario_latency(sc));
+    r = wk::run_scenario_sweep_on(*d, sc);
+    script = sc.to_script();
+  }
   if (r.ok()) return true;
-  std::printf("FAIL seed %llu batching %d: audit_clean=%d converged=%d "
-              "completed=%llu%s%s\n",
+  std::printf("FAIL seed %llu batching %d scenario %s: audit_clean=%d "
+              "converged=%d consistency=%d completed=%llu%s%s\n",
               static_cast<unsigned long long>(seed), int(batching),
-              int(r.audit_clean), int(r.converged),
+              scenario.c_str(), int(r.audit_clean), int(r.converged),
+              int(r.consistency_clean),
               static_cast<unsigned long long>(r.completed_total),
               r.first_violation.empty() ? "" : " violation=",
               r.first_violation.c_str());
-  dump_artifacts(d, r, seed, batching, out_dir);
+  dump_artifacts(*d, r, seed, batching, script, out_dir);
   return false;
 }
 
@@ -106,7 +158,7 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: seed_hunt [--start N] [--count M] "
-                 "[--batching 0|1|both] [--out DIR]\n");
+                 "[--batching 0|1|both] [--scenario NAME] [--out DIR]\n");
     return 2;
   }
 
@@ -118,7 +170,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = opt.start; s < opt.start + opt.count; ++s) {
     for (const bool batching : modes) {
       ++cells;
-      if (!run_cell(s, batching, opt.out_dir)) ++failures;
+      if (!run_cell(s, batching, opt.scenario, opt.out_dir)) ++failures;
     }
     if ((s - opt.start + 1) % 10 == 0) {
       std::printf("progress: %llu/%llu seeds, %llu failure(s)\n",
@@ -128,8 +180,8 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  std::printf("seed_hunt done: %llu cell(s), %llu failure(s)\n",
-              static_cast<unsigned long long>(cells),
+  std::printf("seed_hunt done: scenario %s, %llu cell(s), %llu failure(s)\n",
+              opt.scenario.c_str(), static_cast<unsigned long long>(cells),
               static_cast<unsigned long long>(failures));
   return failures == 0 ? 0 : 1;
 }
