@@ -1,0 +1,189 @@
+// Sim-profiler baseline: how fast the discrete-event simulator itself
+// executes a full WAN deployment, and — more importantly for CI — whether
+// it is still deterministic. The workload is the flap3 scenario sweep from
+// src/wankeeper/sweep_harness.h: three sites, a flapping WAN link, mixed
+// read/write load, quiesce, full checker pass.
+//
+// Reported, emitted to BENCH_sim.json:
+//   events/sec       — event-loop throughput (wall-clock, profiled run);
+//   events executed / scheduled / cancelled, queue high-water;
+//   messages sent / delivered / dropped, WAN share;
+//   flight-recorder volume (events recorded across all rings).
+//
+// Regression gates (CI runs `bench_sim --quick`):
+//   determinism  — two unprofiled runs with the same seed must agree on
+//                  every counter and on a digest of the merged event log
+//                  (the profiled run must match too: profiling must not
+//                  perturb the virtual execution);
+//   liveness     — all counters nonzero, the sweep itself passes;
+//   throughput   — a deliberately conservative events/sec floor, meant to
+//                  catch an accidental O(n^2) in the hot path, not to
+//                  benchmark the host machine.
+//
+//   ./build/bench/bench_sim [--quick] [--out BENCH_sim.json]
+#include <cstdio>
+#include <string>
+
+#include "wankeeper/sweep_harness.h"
+
+using namespace wankeeper;
+
+namespace {
+
+struct RunOutcome {
+  sim::SimProfile profile;
+  sim::NetworkStats net;
+  std::uint64_t events_recorded = 0;  // flight recorder, all rings
+  std::uint64_t event_digest = 0;     // FNV-1a over the merged event text
+  Time virtual_end = 0;
+  bool sweep_ok = false;
+};
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+RunOutcome run_once(std::uint64_t seed, bool profiled) {
+  sim::Scenario scenario = sim::make_scenario("flap3");
+  wk::DeploymentConfig cfg;
+  cfg.sites = scenario.sites();
+  wk::LoadedDeployment d(seed, cfg, sim::scenario_latency(scenario));
+  if (profiled) d.sim.enable_profiling();
+  const wk::SweepResult r = wk::run_scenario_sweep_on(d, scenario);
+
+  RunOutcome out;
+  out.profile = d.sim.profile();
+  out.net = d.net.stats();
+  out.virtual_end = d.sim.now();
+  out.sweep_ok = r.ok();
+  const obs::EventLog& events = d.sim.obs().events;
+  for (const obs::Event& ev : events.merged()) {
+    (void)ev;
+    ++out.events_recorded;
+  }
+  out.event_digest = fnv1a(events.to_text());
+  return out;
+}
+
+bool same_execution(const RunOutcome& a, const RunOutcome& b) {
+  return a.profile.events_executed == b.profile.events_executed &&
+         a.profile.events_scheduled == b.profile.events_scheduled &&
+         a.profile.events_cancelled == b.profile.events_cancelled &&
+         a.net.messages_delivered == b.net.messages_delivered &&
+         a.net.messages_dropped == b.net.messages_dropped &&
+         a.events_recorded == b.events_recorded &&
+         a.event_digest == b.event_digest && a.virtual_end == b.virtual_end;
+}
+
+int gate(bool pass, const char* what) {
+  if (!pass) std::printf("!! FAIL: %s\n", what);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::printf("=== Simulator event-loop baseline (flap3 scenario sweep) ===\n");
+  const std::uint64_t seed = 11;
+
+  // Two cold unprofiled runs pin determinism; the profiled run measures
+  // throughput and must replay the identical virtual execution.
+  const RunOutcome a = run_once(seed, /*profiled=*/false);
+  const RunOutcome b = run_once(seed, /*profiled=*/false);
+  const RunOutcome p = run_once(seed, /*profiled=*/true);
+
+  const double events_per_sec = p.profile.events_per_sec();
+  const double virtual_s = static_cast<double>(p.virtual_end) / kSecond;
+  std::printf("virtual time:     %.1f s\n", virtual_s);
+  std::printf("events executed:  %llu (%llu scheduled, %llu cancelled)\n",
+              static_cast<unsigned long long>(p.profile.events_executed),
+              static_cast<unsigned long long>(p.profile.events_scheduled),
+              static_cast<unsigned long long>(p.profile.events_cancelled));
+  std::printf("queue high-water: %zu\n", p.profile.queue_high_water);
+  std::printf("wall time:        %.3f s  ->  %.0f events/sec\n",
+              static_cast<double>(p.profile.wall_ns) / 1e9, events_per_sec);
+  std::printf("messages:         %llu sent, %llu delivered, %llu dropped "
+              "(%llu WAN)\n",
+              static_cast<unsigned long long>(p.net.messages_sent),
+              static_cast<unsigned long long>(p.net.messages_delivered),
+              static_cast<unsigned long long>(p.net.messages_dropped),
+              static_cast<unsigned long long>(p.net.wan_messages));
+  std::printf("flight recorder:  %llu event(s), digest %016llx\n",
+              static_cast<unsigned long long>(p.events_recorded),
+              static_cast<unsigned long long>(p.event_digest));
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("!! cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"quick\": %s, \"seed\": %llu,\n",
+                 quick ? "true" : "false",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"virtual_seconds\": %.3f,\n", virtual_s);
+    std::fprintf(
+        f,
+        "  \"events_executed\": %llu, \"events_scheduled\": %llu,\n"
+        "  \"events_cancelled\": %llu, \"queue_high_water\": %zu,\n",
+        static_cast<unsigned long long>(p.profile.events_executed),
+        static_cast<unsigned long long>(p.profile.events_scheduled),
+        static_cast<unsigned long long>(p.profile.events_cancelled),
+        p.profile.queue_high_water);
+    std::fprintf(f, "  \"wall_ns\": %llu, \"events_per_sec\": %.0f,\n",
+                 static_cast<unsigned long long>(p.profile.wall_ns),
+                 events_per_sec);
+    std::fprintf(
+        f,
+        "  \"messages_sent\": %llu, \"messages_delivered\": %llu,\n"
+        "  \"messages_dropped\": %llu, \"wan_messages\": %llu,\n",
+        static_cast<unsigned long long>(p.net.messages_sent),
+        static_cast<unsigned long long>(p.net.messages_delivered),
+        static_cast<unsigned long long>(p.net.messages_dropped),
+        static_cast<unsigned long long>(p.net.wan_messages));
+    std::fprintf(f,
+                 "  \"recorder_events\": %llu, \"event_digest\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(p.events_recorded),
+                 static_cast<unsigned long long>(p.event_digest));
+    std::fprintf(f, "  \"deterministic\": %s, \"sweep_ok\": %s\n}\n",
+                 same_execution(a, b) && same_execution(a, p) ? "true"
+                                                              : "false",
+                 p.sweep_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  int rc = 0;
+  rc |= gate(same_execution(a, b), "same seed, different execution");
+  rc |= gate(same_execution(a, p),
+             "profiling perturbed the virtual execution");
+  rc |= gate(a.sweep_ok && b.sweep_ok && p.sweep_ok,
+             "baseline sweep did not pass cleanly");
+  rc |= gate(p.profile.events_executed > 0 && p.net.messages_delivered > 0,
+             "no work executed");
+  rc |= gate(p.events_recorded > 0, "flight recorder captured nothing");
+  rc |= gate(p.profile.wall_ns > 0, "profiler measured no wall time");
+  // Deliberately loose: CI machines vary widely; this catches an order-of-
+  // magnitude event-loop regression, not jitter.
+  rc |= gate(events_per_sec >= 20000.0, "event loop below 20k events/sec");
+
+  std::printf(rc == 0 ? "\nall sim-bench gates passed\n"
+                      : "\nsim-bench gates FAILED\n");
+  return rc;
+}

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     SystemKind system;
     bool hot;
   };
+  std::string ownership_report;
   const Setup setups[] = {
       {"ZK", SystemKind::kZooKeeper, false},
       {"ZK+obs", SystemKind::kZooKeeperObserver, false},
@@ -62,6 +63,14 @@ int main(int argc, char** argv) {
       std::printf("!! token audit violations\n");
       return 1;
     }
+    if (setup.system == SystemKind::kWanKeeper) {
+      ownership_report += std::string(setup.label) + ": " +
+                          r.ownership.table(3, r.measure_end);
+    }
   }
+  // Token-ownership analytics from the flight recorder: cold should show
+  // the private partitions migrating out to their sites; hot should show
+  // almost no movement (tokens were pre-split before measurement).
+  std::printf("\n%s", ownership_report.c_str());
   return 0;
 }

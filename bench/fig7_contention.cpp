@@ -256,6 +256,27 @@ int main(int argc, char** argv) {
                   TablePrinter::num(static_cast<double>(st.total_us) / 1000.0, 1)});
     }
   }
+  // Token churn vs overlap, straight from the flight recorder: at 0%
+  // overlap records migrate once to their site and stay; at 100% the same
+  // records ping-pong (migrations and recall RTTs climb together).
+  std::printf("\n=== Token ownership vs overlap (flight recorder) ===\n");
+  TablePrinter churn({"overlap%", "records moved", "migrations", "recalls",
+                      "recall p50 ms", "recall p99 ms"});
+  for (const auto& [overlap, r] : wk_results) {
+    const LatencyRecorder rtt = r.ownership.recall_rtt();
+    churn.row({TablePrinter::num(overlap * 100, 0),
+               std::to_string(r.ownership.records().size()),
+               std::to_string(r.ownership.total_migrations()),
+               std::to_string(r.ownership.total_recalls()),
+               rtt.count() ? TablePrinter::num(
+                                 static_cast<double>(rtt.percentile_us(0.5)) /
+                                     1000.0, 1)
+                           : "-",
+               rtt.count() ? TablePrinter::num(
+                                 static_cast<double>(rtt.percentile_us(0.99)) /
+                                     1000.0, 1)
+                           : "-"});
+  }
   if (zko_at_100 > 0) {
     std::printf("\nAt 100%% overlap, WanKeeper / ZK+obs = %.2fx (paper: ~1.2x)\n",
                 wk_at_100 / zko_at_100);

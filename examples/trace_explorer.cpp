@@ -1,15 +1,22 @@
 // Trace explorer: run a seeded contended workload against a three-region
 // WanKeeper deployment and print what the flight recorder saw — the N
 // slowest request traces span by span, the per-phase latency breakdown,
-// and the metrics registry. Everything is virtual-time deterministic:
-// the same seed prints the same bytes.
+// the token-ownership timeline of the contended record, the structured
+// event log, and the metrics registry. Optionally export the whole run as
+// a Perfetto/chrome-trace JSON to open in ui.perfetto.dev. Everything is
+// virtual-time deterministic: the same seed prints the same bytes.
 //
-//   cmake --build build && ./build/examples/trace_explorer [N]
+//   cmake --build build && ./build/examples/trace_explorer [N] [--perfetto FILE]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/ownership.h"
+#include "obs/perfetto.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "wankeeper/deployment.h"
@@ -30,7 +37,14 @@ void await(sim::Simulator& sim, zk::Client& client, const std::string& path,
 
 int main(int argc, char** argv) {
   std::size_t slowest_n = 5;
-  if (argc > 1) slowest_n = static_cast<std::size_t>(std::atoi(argv[1]));
+  std::string perfetto_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
+    } else {
+      slowest_n = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
 
   sim::Simulator sim(/*seed=*/7);
   sim::Network net(sim, sim::LatencyModel::paper_wan());
@@ -73,6 +87,22 @@ int main(int argc, char** argv) {
 
   std::printf("=== per-phase breakdown ===\n%s\n",
               obs.tracer.breakdown_table().c_str());
+
+  // The same story from the token's point of view: who owned /hot, when,
+  // and what each recall round-trip cost.
+  const auto ownership =
+      obs::OwnershipAnalytics::from_events(obs.events.merged());
+  std::printf("=== token ownership ===\n%s\n",
+              ownership.table(3, sim.now()).c_str());
+
+  std::printf("=== event log ===\n%s\n", obs.events.to_text().c_str());
   std::printf("=== metrics ===\n%s", obs.metrics.to_table().c_str());
+
+  if (!perfetto_path.empty()) {
+    std::ofstream f(perfetto_path);
+    f << obs::perfetto_trace_json(obs.tracer, obs.events);
+    std::printf("\nwrote %s — open it in ui.perfetto.dev or chrome://tracing\n",
+                perfetto_path.c_str());
+  }
   return 0;
 }

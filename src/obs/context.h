@@ -1,9 +1,11 @@
-// The per-simulation observability context: one metrics registry plus one
-// tracer, owned by the Simulator so every actor (and the network) reaches
-// them through sim().obs() without extra wiring. One simulation == one
-// flight recorder; the context dies with the run.
+// The per-simulation observability context: one metrics registry, one
+// tracer, and one structured event log, owned by the Simulator so every
+// actor (and the network) reaches them through sim().obs() without extra
+// wiring. One simulation == one flight recorder; the context dies with the
+// run.
 #pragma once
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -12,10 +14,12 @@ namespace wankeeper::obs {
 struct Context {
   MetricsRegistry metrics;
   Tracer tracer;
+  EventLog events;
 
   void clear() {
     metrics.clear();
     tracer.clear();
+    events.clear();
   }
 };
 

@@ -1,0 +1,200 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wankeeper::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTokenGrant: return "token_grant";
+    case EventKind::kTokenRecall: return "token_recall";
+    case EventKind::kTokenReturn: return "token_return";
+    case EventKind::kTokenReclaim: return "token_reclaim";
+    case EventKind::kLeaderElected: return "leader_elected";
+    case EventKind::kLeaderLost: return "leader_lost";
+    case EventKind::kL2Adopt: return "l2_adopt";
+    case EventKind::kHubPromote: return "hub_promote";
+    case EventKind::kGseqMint: return "gseq_mint";
+    case EventKind::kRegister: return "register";
+    case EventKind::kResync: return "resync";
+    case EventKind::kFrontier: return "frontier";
+    case EventKind::kScenario: return "scenario";
+    case EventKind::kSiteLeave: return "site_leave";
+    case EventKind::kSiteRejoin: return "site_rejoin";
+    case EventKind::kNodeCrash: return "node_crash";
+    case EventKind::kNodeRestart: return "node_restart";
+    case EventKind::kFault: return "fault";
+    case EventKind::kViolation: return "violation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Minimal JSON string escaping: the strings we record are actor names,
+// paths, and log-style details, but witness text can carry quotes and
+// newlines, and a dump that breaks a JSON parser is a dump lost.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void EventLog::set_capacity(std::size_t per_site_capacity) {
+  capacity_ = per_site_capacity == 0 ? 1 : per_site_capacity;
+}
+
+void EventLog::record(Time t, SiteId site, EventKind kind,
+                      const std::string& actor, std::string detail,
+                      std::string key, std::uint64_t a, std::uint64_t b) {
+  if (!enabled_) return;
+  Ring& ring = rings_[site];
+  Event ev;
+  ev.seq = next_seq_++;
+  ev.t = t;
+  ev.site = site;
+  ev.kind = kind;
+  ev.actor = actor;
+  ev.key = std::move(key);
+  ev.a = a;
+  ev.b = b;
+  ev.detail = std::move(detail);
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(std::move(ev));
+  } else {
+    ring.buf[static_cast<std::size_t>(ring.total % capacity_)] = std::move(ev);
+  }
+  ++ring.total;
+}
+
+std::uint64_t EventLog::recorded(SiteId site) const {
+  const auto it = rings_.find(site);
+  return it == rings_.end() ? 0 : it->second.total;
+}
+
+std::uint64_t EventLog::dropped(SiteId site) const {
+  const auto it = rings_.find(site);
+  if (it == rings_.end()) return 0;
+  return it->second.total - it->second.buf.size();
+}
+
+std::size_t EventLog::size() const {
+  std::size_t n = 0;
+  for (const auto& [site, ring] : rings_) n += ring.buf.size();
+  return n;
+}
+
+std::vector<Event> EventLog::merged() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  for (const auto& [site, ring] : rings_) {
+    out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.seq < y.seq;
+  });
+  return out;
+}
+
+std::vector<Event> EventLog::merged(EventKind kind) const {
+  std::vector<Event> all = merged();
+  std::vector<Event> out;
+  for (auto& ev : all) {
+    if (ev.kind == kind) out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+void EventLog::request_dump(std::string reason) {
+  dump_reasons_.push_back(std::move(reason));
+}
+
+std::string EventLog::to_json() const {
+  std::string out = "{\n  \"dump_reasons\": [";
+  bool first = true;
+  for (const auto& r : dump_reasons_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(r) + "\"";
+  }
+  out += dump_reasons_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"rings\": {";
+  first = true;
+  for (const auto& [site, ring] : rings_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const std::string label = site == kNoSite ? "*" : std::to_string(site);
+    out += "    \"" + label + "\": {\"recorded\": " +
+           std::to_string(ring.total) + ", \"held\": " +
+           std::to_string(ring.buf.size()) + ", \"dropped\": " +
+           std::to_string(ring.total - ring.buf.size()) + "}";
+  }
+  out += rings_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"events\": [";
+  first = true;
+  for (const Event& ev : merged()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"seq\": " + std::to_string(ev.seq) +
+           ", \"t_us\": " + std::to_string(ev.t) + ", \"site\": " +
+           (ev.site == kNoSite ? std::string("-1") : std::to_string(ev.site)) +
+           ", \"kind\": \"" + event_kind_name(ev.kind) + "\"" +
+           ", \"actor\": \"" + json_escape(ev.actor) + "\"";
+    if (!ev.key.empty()) out += ", \"key\": \"" + json_escape(ev.key) + "\"";
+    if (ev.a != 0) out += ", \"a\": " + std::to_string(ev.a);
+    if (ev.b != 0) out += ", \"b\": " + std::to_string(ev.b);
+    if (!ev.detail.empty()) {
+      out += ", \"detail\": \"" + json_escape(ev.detail) + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string EventLog::to_text() const {
+  std::string out;
+  for (const Event& ev : merged()) {
+    char head[96];
+    std::snprintf(head, sizeof head, "%12.6fs  site %2d  %-14s ",
+                  static_cast<double>(ev.t) / kSecond,
+                  static_cast<int>(ev.site), event_kind_name(ev.kind));
+    out += head;
+    out += ev.actor;
+    if (!ev.key.empty()) out += " " + ev.key;
+    if (ev.a != 0) out += " a=" + std::to_string(ev.a);
+    if (ev.b != 0) out += " b=" + std::to_string(ev.b);
+    if (!ev.detail.empty()) out += "  " + ev.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+void EventLog::clear() {
+  rings_.clear();
+  dump_reasons_.clear();
+  next_seq_ = 1;
+}
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,129 @@
+// Black-box flight recorder: an always-on, fixed-size, per-site ring of
+// structured protocol events. Where the metrics registry answers "how
+// many / how long" and the tracer answers "where did THIS request spend
+// its time", the event log answers the question every WAN post-mortem
+// starts with: *who owned what, when, and which hub minted which gseq*.
+//
+// Every protocol state transition — token grant/recall/return/reclaim,
+// elections, L2 epoch adoptions, hub promotion/demotion, gseq minting,
+// frontier resyncs, scenario weather, crashes and fault-point firings —
+// is recorded with a deterministic virtual-time stamp and a global
+// sequence number. Each site has its own fixed-capacity ring (so one
+// chatty site cannot evict another site's history) and merged() zips all
+// rings into one time-sorted stream, with the global sequence breaking
+// timestamp ties: two runs with the same seed produce byte-identical
+// dumps.
+//
+// Dump discipline: recording is always on and cheap (a ring slot write);
+// *dumping* happens post mortem. Anything that decides a run is worth
+// dissecting — a failed sweep, a consistency-checker violation, an armed
+// fault-injection hook firing — calls request_dump() and the harness
+// serializes to_json() next to the other failure artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wankeeper::obs {
+
+enum class EventKind : std::uint8_t {
+  // Token protocol state transitions.
+  kTokenGrant = 0,  // key -> site `a` (recorded where the marker applies)
+  kTokenRecall,     // hub asked site `a` to return `key`
+  kTokenReturn,     // `key` back home at the hub (from site `a`)
+  kTokenReclaim,    // lease expiry: hub reclaimed `key` from dead site `a`
+  // Leadership and hub identity.
+  kLeaderElected,  // zab leadership established, epoch `a`
+  kLeaderLost,     // zab leadership lost / stepped down
+  kL2Adopt,        // adopted hub identity: site `a`, L2 epoch `b`
+  kHubPromote,     // this site promoted itself to hub, L2 epoch `a`
+  kGseqMint,       // hub stamped gseq `a` (epoch `b`) on a transaction
+  // Resync machinery.
+  kRegister,     // L1 leader announced itself to the hub (zab epoch `a`)
+  kResync,       // hub re-shipped `a` txn(s) to site `b`
+  kFrontier,     // stagnant/behind frontier observed for site `a`
+  // Environment: scenario weather, crash schedules, fault injection.
+  kScenario,     // a scripted scenario event fired
+  kSiteLeave,    // whole site `a` down (scenario hook)
+  kSiteRejoin,   // whole site `a` back (scenario hook)
+  kNodeCrash,    // one replica crashed
+  kNodeRestart,  // one replica restarted
+  kFault,        // named fault-injection point fired
+  // Findings stamped in by the checkers at quiesce time.
+  kViolation,  // token-audit or consistency-checker violation
+};
+constexpr std::size_t kEventKindCount = 20;
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  std::uint64_t seq = 0;  // global record order; breaks equal-time ties
+  Time t = 0;             // virtual time
+  SiteId site = kNoSite;  // ring the event lives in (kNoSite = global)
+  EventKind kind = EventKind::kScenario;
+  std::string actor;   // name of the node/component that recorded it
+  std::string key;     // token key / path, when applicable
+  std::uint64_t a = 0; // numeric payload (see kind comments)
+  std::uint64_t b = 0;
+  std::string detail;  // human-readable amplification
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Per-site ring capacity. Only affects rings created after the call, so
+  // set it before the run starts (tests use tiny rings to force wraps).
+  void set_capacity(std::size_t per_site_capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  void record(Time t, SiteId site, EventKind kind, const std::string& actor,
+              std::string detail = "", std::string key = "",
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  // Events recorded / evicted-by-wrap for one site's ring.
+  std::uint64_t recorded(SiteId site) const;
+  std::uint64_t dropped(SiteId site) const;
+  // Events currently held across all rings.
+  std::size_t size() const;
+
+  // All held events, merged across sites and sorted by (t, seq). Equal
+  // timestamps keep global record order, so the merge is deterministic.
+  std::vector<Event> merged() const;
+  std::vector<Event> merged(EventKind kind) const;
+
+  // --- post-mortem dump plumbing ---
+  // Mark this run as worth dumping (sweep failure, consistency violation,
+  // armed fault hook fired). Reasons accumulate; recording continues.
+  void request_dump(std::string reason);
+  bool dump_requested() const { return !dump_reasons_.empty(); }
+  const std::vector<std::string>& dump_reasons() const { return dump_reasons_; }
+
+  // The post-mortem artifact: merged event stream plus per-ring accounting
+  // and the dump reasons. Deterministic byte-for-byte for a given state.
+  std::string to_json() const;
+  // One line per merged event — the greppable flavor of the same dump.
+  std::string to_text() const;
+
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<Event> buf;  // capacity-bounded; write index = total % cap
+    std::uint64_t total = 0; // lifetime records into this ring
+  };
+
+  bool enabled_ = true;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t next_seq_ = 1;
+  std::map<SiteId, Ring> rings_;
+  std::vector<std::string> dump_reasons_;
+};
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,332 @@
+#include "obs/ownership.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace wankeeper::obs {
+
+namespace {
+
+std::string fmt_s(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(t) / kSecond);
+  return buf;
+}
+
+std::string owner_label(SiteId s) {
+  return s == kNoSite ? std::string("hub") : "site " + std::to_string(s);
+}
+
+}  // namespace
+
+OwnershipAnalytics OwnershipAnalytics::from_events(
+    const std::vector<Event>& merged) {
+  OwnershipAnalytics out;
+  // Open recall per key: recall-sent time, for RTT attribution.
+  std::map<std::string, Time> recall_open;
+
+  auto transition = [&out](const std::string& key, SiteId new_owner, Time t) {
+    RecordOwnership& rec = out.records_[key];
+    if (rec.key.empty()) rec.key = key;
+    const SiteId cur = rec.timeline.empty() ? kNoSite
+                                            : rec.timeline.back().owner;
+    if (!rec.timeline.empty() && cur == new_owner) return;  // duplicate record
+    if (!rec.timeline.empty()) rec.timeline.back().to = t;
+    if (rec.timeline.empty() && new_owner == kNoSite) return;  // still home
+    rec.timeline.push_back(OwnershipInterval{new_owner, t, -1});
+    ++rec.migrations;
+  };
+
+  for (const Event& ev : merged) {
+    out.last_event_time_ = std::max(out.last_event_time_, ev.t);
+    switch (ev.kind) {
+      case EventKind::kTokenGrant: {
+        RecordOwnership& rec = out.records_[ev.key];
+        if (rec.key.empty()) rec.key = ev.key;
+        ++rec.grants;
+        transition(ev.key, static_cast<SiteId>(ev.a), ev.t);
+        break;
+      }
+      case EventKind::kTokenReturn:
+      case EventKind::kTokenReclaim: {
+        RecordOwnership& rec = out.records_[ev.key];
+        if (rec.key.empty()) rec.key = ev.key;
+        if (ev.kind == EventKind::kTokenReclaim) {
+          ++rec.reclaims;
+        } else {
+          ++rec.returns;
+        }
+        transition(ev.key, kNoSite, ev.t);
+        if (const auto it = recall_open.find(ev.key);
+            it != recall_open.end()) {
+          rec.recall_rtt_us.record(ev.t - it->second);
+          recall_open.erase(it);
+        }
+        break;
+      }
+      case EventKind::kTokenRecall: {
+        RecordOwnership& rec = out.records_[ev.key];
+        if (rec.key.empty()) rec.key = ev.key;
+        ++rec.recalls;
+        recall_open.try_emplace(ev.key, ev.t);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+const RecordOwnership* OwnershipAnalytics::find(const std::string& key) const {
+  const auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t OwnershipAnalytics::total_migrations() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, rec] : records_) n += rec.migrations;
+  return n;
+}
+
+std::uint64_t OwnershipAnalytics::total_recalls() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, rec] : records_) n += rec.recalls;
+  return n;
+}
+
+LatencyRecorder OwnershipAnalytics::recall_rtt() const {
+  LatencyRecorder merged;
+  for (const auto& [key, rec] : records_) merged.merge(rec.recall_rtt_us);
+  return merged;
+}
+
+std::vector<const RecordOwnership*> OwnershipAnalytics::most_migrated(
+    std::size_t n) const {
+  std::vector<const RecordOwnership*> all;
+  all.reserve(records_.size());
+  for (const auto& [key, rec] : records_) all.push_back(&rec);
+  std::sort(all.begin(), all.end(),
+            [](const RecordOwnership* x, const RecordOwnership* y) {
+              if (x->migrations != y->migrations) {
+                return x->migrations > y->migrations;
+              }
+              return x->key < y->key;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string OwnershipAnalytics::format_timeline(const std::string& key,
+                                                Time run_end) const {
+  const RecordOwnership* rec = find(key);
+  if (rec == nullptr || rec->timeline.empty()) {
+    return key + ": at hub for the whole run\n";
+  }
+  std::string out = key + ": " + std::to_string(rec->migrations) +
+                    " migration(s), " + std::to_string(rec->recalls) +
+                    " recall(s)\n";
+  Time cursor = 0;
+  for (const OwnershipInterval& iv : rec->timeline) {
+    if (iv.from > cursor) {
+      out += "  [" + fmt_s(cursor) + " .. " + fmt_s(iv.from) + ")  hub\n";
+    }
+    const Time end = iv.open() ? run_end : iv.to;
+    out += "  [" + fmt_s(iv.from) + " .. " +
+           (iv.open() ? fmt_s(end) + "+" : fmt_s(end)) + ")  " +
+           owner_label(iv.owner) + "  (" + fmt_s(end - iv.from) + ")\n";
+    cursor = end;
+  }
+  if (!rec->timeline.empty() && !rec->timeline.back().open() &&
+      cursor < run_end) {
+    out += "  [" + fmt_s(cursor) + " .. " + fmt_s(run_end) + ")  hub\n";
+  }
+  return out;
+}
+
+std::string OwnershipAnalytics::table(std::size_t top_n, Time run_end) const {
+  const LatencyRecorder rtt = recall_rtt();
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "ownership: %zu record(s) moved, %llu migration(s), "
+                "%llu recall(s), recall rtt p50 %.1f ms p99 %.1f ms\n",
+                records_.size(),
+                static_cast<unsigned long long>(total_migrations()),
+                static_cast<unsigned long long>(total_recalls()),
+                rtt.count() ? static_cast<double>(rtt.percentile_us(0.5)) / kMillisecond : 0.0,
+                rtt.count() ? static_cast<double>(rtt.percentile_us(0.99)) / kMillisecond : 0.0);
+  std::string out = head;
+  for (const RecordOwnership* rec : most_migrated(top_n)) {
+    out += format_timeline(rec->key, run_end);
+  }
+  return out;
+}
+
+std::string OwnershipAnalytics::to_json() const {
+  std::string out = "{\n  \"total_migrations\": " +
+                    std::to_string(total_migrations()) +
+                    ",\n  \"total_recalls\": " +
+                    std::to_string(total_recalls());
+  const LatencyRecorder rtt = recall_rtt();
+  out += ",\n  \"recall_rtt_count\": " + std::to_string(rtt.count());
+  if (rtt.count() > 0) {
+    out += ",\n  \"recall_rtt_p50_us\": " +
+           std::to_string(rtt.percentile_us(0.5)) +
+           ",\n  \"recall_rtt_p99_us\": " +
+           std::to_string(rtt.percentile_us(0.99));
+  }
+  out += ",\n  \"records\": {";
+  bool first = true;
+  for (const auto& [key, rec] : records_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + key + "\": {\"migrations\": " +
+           std::to_string(rec.migrations) + ", \"grants\": " +
+           std::to_string(rec.grants) + ", \"returns\": " +
+           std::to_string(rec.returns) + ", \"recalls\": " +
+           std::to_string(rec.recalls) + ", \"reclaims\": " +
+           std::to_string(rec.reclaims) + ", \"timeline\": [";
+    bool tfirst = true;
+    for (const OwnershipInterval& iv : rec.timeline) {
+      out += tfirst ? "" : ", ";
+      tfirst = false;
+      out += "{\"owner\": " + std::to_string(iv.owner) +
+             ", \"from_us\": " + std::to_string(iv.from) +
+             ", \"to_us\": " + std::to_string(iv.to) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::vector<ForkEvidence> find_duplicate_mints(
+    const std::vector<Event>& merged) {
+  std::map<std::uint64_t, std::set<SiteId>> mints;
+  for (const Event& ev : merged) {
+    if (ev.kind == EventKind::kGseqMint) mints[ev.a].insert(ev.site);
+  }
+  std::vector<ForkEvidence> out;
+  for (const auto& [gseq, sites] : mints) {
+    if (sites.size() < 2) continue;
+    ForkEvidence f;
+    f.gseq = gseq;
+    f.sites.assign(sites.begin(), sites.end());
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+HubDuel find_dueling_hubs(const std::vector<Event>& merged) {
+  constexpr std::uint64_t kCounterMask = (1ULL << 40) - 1;
+  struct Reign {
+    Time first = 0, last = 0;  // mint window
+    Time ceded = -1;  // first adoption of a *different* hub after minting
+    std::uint64_t mints = 0;
+    std::uint64_t epoch = 0;                     // of the last mint
+    std::map<std::uint64_t, std::uint64_t> by_counter;  // counter -> gseq
+  };
+  Time log_end = 0;
+  std::map<SiteId, Reign> reigns;
+  for (const Event& ev : merged) {
+    log_end = std::max(log_end, ev.t);
+    if (ev.kind == EventKind::kL2Adopt) {
+      // A hub's reign ends when it concedes to another hub, not at its last
+      // mint — a quiet old hub still *would* serialize a write that arrived.
+      const auto it = reigns.find(ev.site);
+      if (it != reigns.end() && it->second.ceded < 0 &&
+          static_cast<SiteId>(ev.a) != ev.site) {
+        it->second.ceded = ev.t;
+      }
+      continue;
+    }
+    if (ev.kind != EventKind::kGseqMint) continue;
+    Reign& r = reigns[ev.site];
+    if (r.mints == 0) r.first = ev.t;
+    r.last = ev.t;
+    ++r.mints;
+    r.epoch = ev.a >> 40;
+    r.by_counter.try_emplace(ev.a & kCounterMask, ev.a);
+  }
+  for (auto& [site, r] : reigns) {
+    r.last = r.ceded >= 0 ? r.ceded : log_end;
+  }
+
+  HubDuel out;
+  // Pick the overlapping pair with the longest shared window (maps iterate
+  // in site order, so ties resolve deterministically).
+  for (auto a = reigns.begin(); a != reigns.end(); ++a) {
+    for (auto b = std::next(a); b != reigns.end(); ++b) {
+      const Time begin = std::max(a->second.first, b->second.first);
+      const Time end = std::min(a->second.last, b->second.last);
+      if (begin > end) continue;  // clean handover, no duel
+      if (out.found && end - begin <= out.overlap_end - out.overlap_begin) {
+        continue;
+      }
+      out.found = true;
+      const bool a_first = a->second.first <= b->second.first;
+      const auto& ra = a_first ? a->second : b->second;
+      const auto& rb = a_first ? b->second : a->second;
+      out.hub_a = a_first ? a->first : b->first;
+      out.hub_b = a_first ? b->first : a->first;
+      out.epoch_a = ra.epoch;
+      out.epoch_b = rb.epoch;
+      out.overlap_begin = begin;
+      out.overlap_end = end;
+      out.mints_a = ra.mints;
+      out.mints_b = rb.mints;
+      out.shared_counters = 0;
+      out.example_counter = 0;
+      out.example_gseq_a = out.example_gseq_b = 0;
+      for (const auto& [counter, gseq] : ra.by_counter) {
+        const auto it = rb.by_counter.find(counter);
+        if (it == rb.by_counter.end()) continue;
+        if (out.shared_counters == 0) {
+          out.example_counter = counter;
+          out.example_gseq_a = gseq;
+          out.example_gseq_b = it->second;
+        }
+        ++out.shared_counters;
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_hub_duel(const HubDuel& duel) {
+  if (!duel.found) return "no dueling hubs\n";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "dueling hubs: site %d (epoch %llu, %llu mints) and site %d "
+      "(epoch %llu, %llu mints) both reigning in [%s .. %s]\n"
+      "  %llu sequence slot(s) claimed by both hubs; e.g. counter %llu "
+      "minted as gseq %llu at site %d and gseq %llu at site %d\n",
+      duel.hub_a, static_cast<unsigned long long>(duel.epoch_a),
+      static_cast<unsigned long long>(duel.mints_a), duel.hub_b,
+      static_cast<unsigned long long>(duel.epoch_b),
+      static_cast<unsigned long long>(duel.mints_b),
+      fmt_s(duel.overlap_begin).c_str(), fmt_s(duel.overlap_end).c_str(),
+      static_cast<unsigned long long>(duel.shared_counters),
+      static_cast<unsigned long long>(duel.example_counter),
+      static_cast<unsigned long long>(duel.example_gseq_a), duel.hub_a,
+      static_cast<unsigned long long>(duel.example_gseq_b), duel.hub_b);
+  return buf;
+}
+
+std::string format_fork_evidence(const std::vector<ForkEvidence>& forks) {
+  if (forks.empty()) return "no duplicate gseq mints\n";
+  std::string out = std::to_string(forks.size()) +
+                    " gseq(s) minted by more than one hub:\n";
+  for (const ForkEvidence& f : forks) {
+    out += "  gseq " + std::to_string(f.gseq) + " (epoch " +
+           std::to_string(f.gseq >> 40) + ", counter " +
+           std::to_string(f.gseq & ((1ULL << 40) - 1)) + ") minted by sites";
+    for (const SiteId s : f.sites) out += " " + std::to_string(s);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,117 @@
+// Token-ownership analytics derived from the event log: per-record
+// ownership timelines (which site held a token, when), migration counts,
+// recall round-trip attribution, and split-brain forensics (two hubs
+// minting the same global sequence number).
+//
+// The analytics are a pure function of EventLog::merged(): the benches and
+// seed_hunt build them at report time, and a post-mortem reader can rebuild
+// the exact same tables from a dumped events.json. A token with no grant
+// events lives at the hub for the whole run and appears in no timeline —
+// the interesting records are precisely the ones that moved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/event_log.h"
+
+namespace wankeeper::obs {
+
+// One hold: `owner` had the token from `from` until `to` (-1 while open at
+// the end of the run). kNoSite means "home at the L2 hub".
+struct OwnershipInterval {
+  SiteId owner = kNoSite;
+  Time from = 0;
+  Time to = -1;
+
+  bool open() const { return to < from; }
+  Time duration(Time now) const { return (open() ? now : to) - from; }
+};
+
+struct RecordOwnership {
+  std::string key;
+  std::vector<OwnershipInterval> timeline;  // in time order, gap-free
+  std::uint64_t migrations = 0;  // owner changes (grant away / return home)
+  std::uint64_t grants = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t reclaims = 0;
+  LatencyRecorder recall_rtt_us;  // recall sent -> token back home
+};
+
+class OwnershipAnalytics {
+ public:
+  // Build from a merged, time-sorted event stream (EventLog::merged()).
+  // Duplicate transition records (hub and grantee both log the same grant)
+  // collapse: a grant/return that does not change the owner is counted but
+  // opens no new interval.
+  static OwnershipAnalytics from_events(const std::vector<Event>& merged);
+
+  const std::map<std::string, RecordOwnership>& records() const {
+    return records_;
+  }
+  const RecordOwnership* find(const std::string& key) const;
+
+  std::uint64_t total_migrations() const;
+  std::uint64_t total_recalls() const;
+  LatencyRecorder recall_rtt() const;  // merged across records
+
+  // Records by migration count, descending (ties by key for determinism).
+  std::vector<const RecordOwnership*> most_migrated(std::size_t n) const;
+
+  // --- reports (all deterministic) ---
+  // One line per interval: "  [12.000s .. 31.500s)  site 2   (19.500s)".
+  std::string format_timeline(const std::string& key, Time run_end) const;
+  // Top-N most migrated records with counts and recall RTTs.
+  std::string table(std::size_t top_n, Time run_end) const;
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, RecordOwnership> records_;
+  Time last_event_time_ = 0;
+};
+
+// Split-brain forensics, layer 1: the exact same 64-bit gseq minted by more
+// than one site. The epoch lives in the high bits and a promoting hub always
+// bumps it, so this only fires when two sites promote to the *same* epoch —
+// the worst-case signature, worth keeping armed even though the common fork
+// (below) never trips it.
+struct ForkEvidence {
+  std::uint64_t gseq = 0;
+  std::vector<SiteId> sites;  // distinct minting sites, ascending
+};
+std::vector<ForkEvidence> find_duplicate_mints(const std::vector<Event>& merged);
+std::string format_fork_evidence(const std::vector<ForkEvidence>& forks);
+
+// Split-brain forensics, layer 2: dueling hubs. The asym3 hub-handover fork
+// looks like this in the event log — the partitioned site self-promotes and
+// mints under a bumped epoch while the old hub, which never saw the
+// promotion, keeps minting under its own. Both hubs stamp the same sequence
+// slots (the low 40-bit counter), each under its own epoch: two histories
+// claiming to be "the" commit order. Detected as two sites whose hub reigns
+// overlap in virtual time — a reign runs from a site's first gseq mint until
+// it concedes by adopting a different hub (kL2Adopt), or the log ends.
+struct HubDuel {
+  bool found = false;
+  SiteId hub_a = kNoSite;  // earlier reign (first mint first)
+  SiteId hub_b = kNoSite;
+  std::uint64_t epoch_a = 0;  // epoch each hub minted under during the duel
+  std::uint64_t epoch_b = 0;
+  Time overlap_begin = 0;  // both sites reigned as hub in this window
+  Time overlap_end = 0;
+  std::uint64_t mints_a = 0;  // total mints per hub over the run
+  std::uint64_t mints_b = 0;
+  std::uint64_t shared_counters = 0;  // sequence slots claimed by both hubs
+  // One concrete collision: the same counter as stamped by each hub.
+  std::uint64_t example_counter = 0;
+  std::uint64_t example_gseq_a = 0;
+  std::uint64_t example_gseq_b = 0;
+};
+HubDuel find_dueling_hubs(const std::vector<Event>& merged);
+std::string format_hub_duel(const HubDuel& duel);
+
+}  // namespace wankeeper::obs

@@ -1,0 +1,134 @@
+#include "obs/perfetto.h"
+
+#include <cstdio>
+#include <set>
+
+namespace wankeeper::obs {
+
+namespace {
+
+// Sites are small non-negative ints; kNoSite (-1) becomes a distinct high
+// pid so "global" spans/events still render instead of vanishing.
+int pid_of(SiteId site) { return site == kNoSite ? 0x7fff : site; }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_process_metadata(std::string* out, const std::set<SiteId>& sites,
+                             bool* first) {
+  for (const SiteId site : sites) {
+    *out += *first ? "\n" : ",\n";
+    *first = false;
+    const std::string label =
+        site == kNoSite ? std::string("global") : "site " + std::to_string(site);
+    *out += "    {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+            std::to_string(pid_of(site)) + ", \"tid\": 0, \"args\": {\"name\": \"" +
+            label + "\"}}";
+  }
+}
+
+void append_spans(std::string* out, const Tracer& tracer, bool* first) {
+  for (const auto& [id, rec] : tracer.traces()) {
+    for (const Span& span : rec.spans) {
+      *out += *first ? "\n" : ",\n";
+      *first = false;
+      const Time dur = span.closed() ? span.duration() : 0;
+      *out += "    {\"ph\": \"X\", \"name\": \"" +
+              std::string(span_kind_name(span.kind)) + "\", \"cat\": \"" +
+              json_escape(rec.what) + "\", \"pid\": " +
+              std::to_string(pid_of(span.site)) + ", \"tid\": " +
+              std::to_string(id) + ", \"ts\": " + std::to_string(span.start) +
+              ", \"dur\": " + std::to_string(dur) + ", \"args\": {\"trace\": " +
+              std::to_string(id) + ", \"where\": \"" + json_escape(span.where) +
+              "\"";
+      if (!span.detail.empty()) {
+        *out += ", \"detail\": \"" + json_escape(span.detail) + "\"";
+      }
+      if (!span.closed()) *out += ", \"open\": true";
+      *out += "}}";
+    }
+    // The whole request as one envelope slice on its origin site's row, so
+    // the client-observed latency is visible without adding up the spans.
+    if (rec.completed()) {
+      *out += *first ? "\n" : ",\n";
+      *first = false;
+      *out += "    {\"ph\": \"X\", \"name\": \"" + json_escape(rec.what) +
+              "\", \"cat\": \"request\", \"pid\": " +
+              std::to_string(pid_of(rec.origin_site)) + ", \"tid\": " +
+              std::to_string(id) + ", \"ts\": " + std::to_string(rec.begin) +
+              ", \"dur\": " + std::to_string(rec.duration()) +
+              ", \"args\": {\"trace\": " + std::to_string(id) + "}}";
+    }
+  }
+}
+
+void append_events(std::string* out, const EventLog& events, bool* first) {
+  for (const Event& ev : events.merged()) {
+    *out += *first ? "\n" : ",\n";
+    *first = false;
+    // Instant events on tid 0 of the site's process: annotations, not work.
+    *out += "    {\"ph\": \"i\", \"s\": \"p\", \"name\": \"" +
+            std::string(event_kind_name(ev.kind)) + "\", \"cat\": \"event\", " +
+            "\"pid\": " + std::to_string(pid_of(ev.site)) +
+            ", \"tid\": 0, \"ts\": " + std::to_string(ev.t) +
+            ", \"args\": {\"actor\": \"" + json_escape(ev.actor) + "\"";
+    if (!ev.key.empty()) *out += ", \"key\": \"" + json_escape(ev.key) + "\"";
+    if (ev.a != 0) *out += ", \"a\": " + std::to_string(ev.a);
+    if (ev.b != 0) *out += ", \"b\": " + std::to_string(ev.b);
+    if (!ev.detail.empty()) {
+      *out += ", \"detail\": \"" + json_escape(ev.detail) + "\"";
+    }
+    *out += "}}";
+  }
+}
+
+std::string export_json(const Tracer& tracer, const EventLog* events) {
+  std::set<SiteId> sites;
+  for (const auto& [id, rec] : tracer.traces()) {
+    sites.insert(rec.origin_site);
+    for (const Span& span : rec.spans) sites.insert(span.site);
+  }
+  if (events != nullptr) {
+    for (const Event& ev : events->merged()) sites.insert(ev.site);
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  append_process_metadata(&out, sites, &first);
+  append_spans(&out, tracer, &first);
+  if (events != nullptr) append_events(&out, *events, &first);
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const Tracer& tracer) {
+  return export_json(tracer, nullptr);
+}
+
+std::string perfetto_trace_json(const Tracer& tracer, const EventLog& events) {
+  return export_json(tracer, &events);
+}
+
+}  // namespace wankeeper::obs

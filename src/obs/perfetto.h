@@ -1,0 +1,32 @@
+// Chrome-trace / Perfetto JSON export for the request tracer: every span
+// the obs::Tracer recorded becomes a complete ("X") event, so a cross-site
+// request trace can be opened in ui.perfetto.dev or chrome://tracing and
+// read on a real timeline instead of as indented text.
+//
+// Layout: one Perfetto "process" per site (pid = site id; kNoSite maps to
+// pid 0x7fff), one "thread" per trace within that process (tid = trace id),
+// so concurrent requests render as separate rows and one request's
+// cross-site hops line up vertically at the same timestamps. Virtual
+// microseconds map 1:1 onto the trace "ts" field. Output is deterministic:
+// same tracer state, same bytes.
+#pragma once
+
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/trace.h"
+
+namespace wankeeper::obs {
+
+// The tracer's spans as a chrome://tracing "traceEvents" JSON document.
+// Open spans (end still pending) are exported with zero duration and an
+// "open": true arg rather than dropped — a post-mortem usually cares most
+// about exactly the work that never finished.
+std::string perfetto_trace_json(const Tracer& tracer);
+
+// Same document with the event log merged in as instant ("i") events on
+// each site's process row, so token grants, elections, and hub handovers
+// annotate the request timeline they explain.
+std::string perfetto_trace_json(const Tracer& tracer, const EventLog& events);
+
+}  // namespace wankeeper::obs

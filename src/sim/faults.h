@@ -24,14 +24,23 @@ class FaultPoints {
   // hook(actor_name): runs synchronously inside the firing actor's handler.
   // The actor checks up() after firing, so a hook may crash it mid-handler.
   using Hook = std::function<void(const std::string&)>;
+  // observer(point, actor, armed): every fire, before the hooks run;
+  // `armed` says whether any hook is about to act on this point. The
+  // Simulator uses this to log fault firings into the flight recorder and
+  // to flag armed (i.e., injected-crash) runs for a post-mortem dump.
+  using Observer =
+      std::function<void(const std::string&, const std::string&, bool)>;
 
   void arm(const std::string& point, Hook hook) {
     hooks_[point].push_back(std::move(hook));
   }
 
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   void fire(const std::string& point, const std::string& actor) {
     ++fires_[point];
     const auto it = hooks_.find(point);
+    if (observer_) observer_(point, actor, it != hooks_.end());
     if (it == hooks_.end()) return;
     for (const auto& hook : it->second) hook(actor);
   }
@@ -49,6 +58,7 @@ class FaultPoints {
  private:
   std::map<std::string, std::vector<Hook>> hooks_;
   std::map<std::string, std::uint64_t> fires_;
+  Observer observer_;
 };
 
 }  // namespace wankeeper::sim

@@ -179,6 +179,9 @@ void Scenario::install(Network& net, ScenarioHooks hooks) {
   for (const Event* e : ordered) {
     net.sim().after(e->when, [this, e, &net]() {
       WK_INFO(net.sim().now(), "scenario:" + name_, e->describe);
+      net.sim().obs().events.record(net.sim().now(), kNoSite,
+                                    obs::EventKind::kScenario, name_,
+                                    e->describe);
       e->apply(net, hooks_, *this);
     });
   }

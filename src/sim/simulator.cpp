@@ -1,19 +1,38 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace wankeeper::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  // Every fault firing lands in the flight recorder, and an *armed* firing
+  // (a hook is about to crash someone) flags the run for a post-mortem dump
+  // — by the time the resulting failure surfaces, the interesting part of
+  // the history is this instant, not the symptom.
+  faults_.set_observer([this](const std::string& point,
+                              const std::string& actor, bool armed) {
+    obs_.events.record(now_, kNoSite, obs::EventKind::kFault, actor,
+                       armed ? "armed hook firing" : "", point);
+    if (armed) obs_.events.request_dump("fault hook fired: " + point);
+  });
+}
 
 EventId Simulator::at(Time when, std::function<void()> fn) {
   if (when < now_) throw std::invalid_argument("scheduling into the past");
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
+  ++profile_.events_scheduled;
+  if (queue_.size() > profile_.queue_high_water) {
+    profile_.queue_high_water = queue_.size();
+  }
   return id;
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) {
+  cancelled_.insert(id);
+  ++profile_.events_cancelled;
+}
 
 bool Simulator::step() {
   while (!queue_.empty()) {
@@ -24,8 +43,17 @@ bool Simulator::step() {
       continue;
     }
     now_ = ev.time;
-    ++executed_;
-    ev.fn();
+    ++profile_.events_executed;
+    if (profiling_) {
+      const auto begin = std::chrono::steady_clock::now();
+      ev.fn();
+      const auto end = std::chrono::steady_clock::now();
+      profile_.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+              .count());
+    } else {
+      ev.fn();
+    }
     return true;
   }
   return false;

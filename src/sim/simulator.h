@@ -19,6 +19,25 @@ namespace wankeeper::sim {
 
 using EventId = std::uint64_t;
 
+// Event-loop profile: how hard the simulator itself worked. Scheduling and
+// execution counters are always on (plain increments); wall-clock timing is
+// opt-in via enable_profiling() because the clock reads cost more than the
+// event dispatch they measure.
+struct SimProfile {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;
+  std::size_t queue_high_water = 0;
+  // Only meaningful when profiling was enabled for the run.
+  std::uint64_t wall_ns = 0;
+
+  double events_per_sec() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(events_executed) * 1e9 /
+                              static_cast<double>(wall_ns);
+  }
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -46,8 +65,12 @@ class Simulator {
   void run_until(Time deadline);
   void run_for(Time duration) { run_until(now_ + duration); }
 
-  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_executed() const { return profile_.events_executed; }
   std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  // Wall-clock timing of the event loop (off by default; counters are free).
+  void enable_profiling(bool on = true) { profiling_ = on; }
+  const SimProfile& profile() const { return profile_; }
 
  private:
   struct Event {
@@ -64,7 +87,8 @@ class Simulator {
 
   Time now_ = 0;
   EventId next_id_ = 1;
-  std::uint64_t executed_ = 0;
+  bool profiling_ = false;
+  SimProfile profile_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;

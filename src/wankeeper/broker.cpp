@@ -372,8 +372,19 @@ void Broker::send_register() {
   m->zab_epoch = peer()->current_epoch();
   m->down_frontiers = down_frontier_vector();
   m->owned_tokens = site_tokens_.owned_keys();
+  // The frontier announcement gets its own trace so a post-mortem can see
+  // register -> (resync ship -> first apply) as one timeline.
+  m->trace = sim().obs().tracer.begin("register", site(), now());
+  sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, l2_site_, name(),
+                          now(),
+                          "register site " + std::to_string(site()) +
+                              " -> site " + std::to_string(l2_site_));
   raw_send_to_site(l2_site_, std::move(m));
   sim().obs().metrics.counter("resync.registers_sent", site()).inc();
+  sim().obs().events.record(now(), site(), obs::EventKind::kRegister, name(),
+                            "to hub site " + std::to_string(l2_site_),
+                            /*key=*/"",
+                            /*a=*/static_cast<std::uint64_t>(peer()->current_epoch()));
   // Recovery fault point: the frontier announcement is on the wire; crash
   // here models a leader dying between registering and being resynced.
   sim().faults().fire("wk.register_sent", name());
@@ -517,6 +528,16 @@ void Broker::apply_token_marker(const store::Txn& txn) {
       broker_tokens_.set_owner(key, grantee);
       l2_pending_grants_.erase(key);
     }
+    // Flight recorder: one grant event per key, written by the applying
+    // leader(s) — the hub and the grantee each log into their own ring, and
+    // the ownership analytics dedupe the repeated transition.
+    if (is_leader() && (grantee == site() || l2_role())) {
+      for (const auto& key : txn.paths) {
+        sim().obs().events.record(now(), site(), obs::EventKind::kTokenGrant,
+                                  name(), "", key,
+                                  /*a=*/static_cast<std::uint64_t>(grantee));
+      }
+    }
     if (grantee == site()) {
       site_tokens_.apply_granted(txn.paths);
       if (auditor_ != nullptr) auditor_->count_grant();
@@ -546,6 +567,13 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     for (const auto& key : txn.paths) {
       broker_tokens_.set_owner(key, kNoSite);
       broker_tokens_.mark_recalling(key, false);
+    }
+    if (is_leader() && (returner == site() || l2_role())) {
+      for (const auto& key : txn.paths) {
+        sim().obs().events.record(now(), site(), obs::EventKind::kTokenReturn,
+                                  name(), "", key,
+                                  /*a=*/static_cast<std::uint64_t>(returner));
+      }
     }
     if (returner == site()) {
       site_tokens_.apply_returned(txn.paths);

@@ -182,7 +182,12 @@ class Broker : public zk::Server {
   void l2_fan_out(const zk::Envelope& env);
   void l2_send_down(SiteId dest, const zk::Envelope& env, bool resync,
                     obs::TraceId resync_trace);
-  void l2_resync_site(SiteId site, const std::vector<GseqFrontier>& frontiers);
+  // `announce` is the trace riding on the register/heartbeat that carried
+  // the frontiers. Passing it transfers ownership: a triggered resync
+  // continues it (ship -> first apply), a no-op round ends it. A caller
+  // that decides not to resync at all must end the trace itself.
+  void l2_resync_site(SiteId site, const std::vector<GseqFrontier>& frontiers,
+                      obs::TraceId announce = obs::kNoTrace);
   void l2_reclaim_dead_site_tokens();
   std::uint64_t next_gseq();
 

@@ -91,11 +91,17 @@ void Deployment::crash_site_leader(SiteId s) {
 }
 
 void Deployment::crash_site(SiteId s) {
+  sim_.obs().events.record(sim_.now(), s, obs::EventKind::kSiteLeave,
+                           "deployment", "", /*key=*/"",
+                           /*a=*/static_cast<std::uint64_t>(s));
   auto& ens = site_ensemble(s);
   for (std::size_t i = 0; i < ens.size(); ++i) ens.crash_node(i);
 }
 
 void Deployment::restart_site(SiteId s) {
+  sim_.obs().events.record(sim_.now(), s, obs::EventKind::kSiteRejoin,
+                           "deployment", "", /*key=*/"",
+                           /*a=*/static_cast<std::uint64_t>(s));
   auto& ens = site_ensemble(s);
   for (std::size_t i = 0; i < ens.size(); ++i) ens.restart_node(i);
 }

@@ -27,6 +27,16 @@ void Broker::heartbeat_tick() {
       m->down_frontiers = down_frontier_vector();
       m->l2_site = l2_site_;
       m->l2_epoch = l2_epoch_;
+      // Only the heartbeat headed to the hub carries a trace: that is the
+      // frontier announcement that can trigger a resync, and tracing every
+      // gossip leg would drown the recorder in noise.
+      if (dest == l2_site_) {
+        m->trace = sim().obs().tracer.begin("frontier_announce", site(), now());
+        sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(),
+                                now(),
+                                "heartbeat site " + std::to_string(site()) +
+                                    " -> site " + std::to_string(dest));
+      }
       raw_send_to_site(dest, std::move(m));
     }
     if (!registered_ && site() != l2_site_) send_register();
@@ -48,6 +58,7 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
   if (from_site == l2_site_) l2_last_heard_ = now();
 
   if (l2_role()) {
+    sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
     // Keep the piggybacked sessions alive in our expiry tracker.
     touch_sessions(m.live_sessions);
     // The site missed fan-outs (lost stream, shed backlog, an old-epoch
@@ -63,8 +74,18 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
                         now() - sent->second >= wan_.resync_min_interval;
     if (frontier_behind(m.down_frontiers) && cooled &&
         (transport_.unacked(from_site) == 0 || stagnant)) {
-      l2_resync_site(from_site, m.down_frontiers);
+      sim().obs().events.record(
+          now(), site(), obs::EventKind::kFrontier, name(),
+          stagnant ? "behind and stagnant" : "behind on idle stream",
+          /*key=*/"", /*a=*/static_cast<std::uint64_t>(from_site));
+      l2_resync_site(from_site, m.down_frontiers, m.trace);
+    } else {
+      // No resync this round: the announce trace ends at the hub.
+      sim().obs().tracer.end(m.trace, now());
     }
+  } else {
+    // We are not the hub this heartbeat hoped for; close the book on it.
+    sim().obs().tracer.end(m.trace, now());
   }
 
   auto reply = std::make_shared<WanHeartbeatReplyMsg>();
@@ -92,6 +113,10 @@ void Broker::adopt_l2(SiteId site_id, std::uint32_t epoch) {
   WK_INFO(now(), name(),
           "adopting L2 site " + std::to_string(site_id) + " (epoch " +
               std::to_string(epoch) + ")");
+  sim().obs().events.record(now(), site(), obs::EventKind::kL2Adopt, name(),
+                            "", /*key=*/"",
+                            /*a=*/static_cast<std::uint64_t>(site_id),
+                            /*b=*/epoch);
   l2_site_ = site_id;
   l2_epoch_ = epoch;
   gseq_counter_ = 0;
@@ -132,6 +157,10 @@ void Broker::consider_l2_failover() {
   WK_INFO(now(), name(),
           "L2 site " + std::to_string(l2_site_) + " silent for " +
               format_time(now() - l2_last_heard_) + "; promoting self");
+  sim().obs().events.record(now(), site(), obs::EventKind::kHubPromote, name(),
+                            "old hub site " + std::to_string(l2_site_) +
+                                " silent",
+                            /*key=*/"", /*a=*/l2_epoch_ + 1);
   l2_epoch_ += 1;
   l2_site_ = site();
   gseq_counter_ = 0;

@@ -13,7 +13,12 @@ std::uint64_t Broker::next_gseq() {
     // Fresh leadership in the same L2 epoch: resume after the applied max.
     gseq_counter_ = gseq_counter(applied_down_gseq_);
   }
-  return make_gseq(l2_epoch_, ++gseq_counter_);
+  const std::uint64_t gseq = make_gseq(l2_epoch_, ++gseq_counter_);
+  // Flight recorder: the split-brain smoking gun. If two sites ever record
+  // a mint for the same numeric gseq, the post-mortem has its fork.
+  sim().obs().events.record(now(), site(), obs::EventKind::kGseqMint, name(),
+                            "", /*key=*/"", /*a=*/gseq, /*b=*/l2_epoch_);
+  return gseq;
 }
 
 void Broker::handle_wan_forward(SiteId from_site, const WanForwardMsg& m) {
@@ -68,7 +73,13 @@ void Broker::handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m) {
 }
 
 void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
-  if (!l2_role()) return;  // stale: the sender will adopt the real L2 via gossip
+  if (!l2_role()) {
+    // Stale routing: the sender will adopt the real L2 via gossip. Close
+    // the announce trace so it doesn't dangle open in the recorder.
+    sim().obs().tracer.end(m.trace, now());
+    return;
+  }
+  sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
   site_last_heard_[from_site] = now();
   site_frontiers_[from_site] = m.down_frontiers;
 
@@ -92,7 +103,7 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   reply->l2_epoch = l2_epoch_;
   raw_send_to_site(from_site, std::move(reply));
 
-  l2_resync_site(from_site, m.down_frontiers);
+  l2_resync_site(from_site, m.down_frontiers, m.trace);
 }
 
 void Broker::l2_propose_remote(const zk::Envelope& env) {
@@ -225,6 +236,9 @@ void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
     sim().obs().metrics.counter("token.recalls", site()).inc();
     recall_sent_.try_emplace(key, now());
     broker_tokens_.mark_recalling(key, true);
+    sim().obs().events.record(now(), site(), obs::EventKind::kTokenRecall,
+                              name(), "", key,
+                              /*a=*/static_cast<std::uint64_t>(owner));
   }
   auto m = std::make_shared<TokenRecallMsg>();
   m->keys = keys;
@@ -291,7 +305,8 @@ void Broker::l2_fan_out(const zk::Envelope& env) {
   }
 }
 
-void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& frontiers) {
+void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& frontiers,
+                            obs::TraceId announce) {
   // Re-ship committed L2-sequenced txns the site is missing (frames lost to
   // leadership changes on either end, or shed fan-outs). The site announces
   // its contiguously-applied counter per L2 epoch; anything above that is
@@ -342,7 +357,12 @@ void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& fronti
     if (trace == obs::kNoTrace) {
       // One trace per resync round: a span per shipped txn would drown the
       // recorder; the round-level span still shows ship -> first apply.
-      trace = sim().obs().tracer.begin("resync", site(), now());
+      // When the frontiers arrived with their own trace (a register or a
+      // heartbeat announce), the resync continues it instead of starting a
+      // fresh one — the post-mortem then reads announce -> ship -> apply.
+      trace = announce != obs::kNoTrace
+                  ? announce
+                  : sim().obs().tracer.begin("resync", site(), now());
       sim().obs().tracer.open(trace, obs::SpanKind::kWanHop, dest, name(),
                               now(),
                               "resync site " + std::to_string(site()) +
@@ -359,10 +379,17 @@ void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& fronti
     WK_INFO(now(), name(),
             "resynced site " + std::to_string(dest) + " with " +
                 std::to_string(shipped) + " txn(s)");
+    sim().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
+                              "", /*key=*/"", /*a=*/shipped,
+                              /*b=*/static_cast<std::uint64_t>(dest));
     // Recovery fault point: the resync burst is on the wire but nothing is
     // confirmed applied — crash here models the hub dying right after a
     // resync request was served.
     sim().faults().fire("wk.resync_sent", name());
+  } else if (announce != obs::kNoTrace) {
+    // Frontiers were already covered — the announce trace ends here rather
+    // than dangling open in the recorder.
+    sim().obs().tracer.end(announce, now());
   }
 }
 
@@ -376,6 +403,11 @@ void Broker::l2_reclaim_dead_site_tokens() {
     WK_INFO(now(), name(),
             "lease expired: reclaiming " + std::to_string(keys.size()) +
                 " token(s) from dead site " + std::to_string(s));
+    for (const auto& key : keys) {
+      sim().obs().events.record(now(), site(), obs::EventKind::kTokenReclaim,
+                                name(), "lease expired", key,
+                                /*a=*/static_cast<std::uint64_t>(s));
+    }
     zk::Envelope env;
     env.txn.type = store::TxnType::kTokenReturned;
     env.txn.paths = keys;

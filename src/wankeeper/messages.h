@@ -86,6 +86,7 @@ struct RegisterMsg : sim::Message {
   std::uint32_t zab_epoch = 0;
   std::vector<GseqFrontier> down_frontiers;  // contiguously applied, per epoch
   std::vector<TokenKey> owned_tokens;
+  obs::TraceId trace = obs::kNoTrace;  // register hop -> resync it triggers
   const char* name() const override { return "wk.register"; }
 };
 
@@ -121,6 +122,10 @@ struct WanHeartbeatMsg : sim::Message {
   std::vector<GseqFrontier> down_frontiers;
   SiteId l2_site = kNoSite;
   std::uint32_t l2_epoch = 0;
+  // Set only on the heartbeat sent *to the hub*: the frontier announcement
+  // that can trigger a resync. The hub either continues this trace into the
+  // resync round or ends it on arrival, so no trace leaks open.
+  obs::TraceId trace = obs::kNoTrace;
   const char* name() const override { return "wk.heartbeat"; }
 };
 

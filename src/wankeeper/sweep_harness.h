@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/ownership.h"
 #include "sim/failure.h"
 #include "sim/network.h"
 #include "sim/scenario.h"
@@ -206,6 +207,14 @@ struct SweepResult {
   bool consistency_clean = true;
   std::size_t consistency_violations = 0;
   std::string first_consistency_witness;
+  // Post-mortem: filled when the run failed or something (a consistency
+  // violation, an armed fault hook) requested a dump — the merged
+  // flight-recorder stream as JSON, plus any split-brain fork evidence
+  // (duplicate gseq mints, dueling hubs) distilled from it. Empty on
+  // clean runs.
+  std::string post_mortem_json;
+  std::string fork_evidence;
+  std::vector<std::string> dump_reasons;
 
   bool ok() const {
     return audit_clean && converged && consistency_clean &&
@@ -226,6 +235,36 @@ inline void finish_sweep(LoadedDeployment& d, SweepResult* r) {
   r->consistency_violations = violations.size();
   if (!violations.empty()) {
     r->first_consistency_witness = violations.front().format();
+  }
+
+  // Stamp the checkers' findings into the flight recorder and decide
+  // whether this run deserves a post-mortem. The harness stays file-free:
+  // it serializes the dump into the result and the caller (gtest, the seed
+  // hunter) writes it wherever its artifacts go.
+  obs::EventLog& events = d.sim.obs().events;
+  for (const std::string& v : d.audit.violations()) {
+    events.record(d.sim.now(), kNoSite, obs::EventKind::kViolation, "audit", v);
+  }
+  for (const auto& v : violations) {
+    events.record(d.sim.now(), kNoSite, obs::EventKind::kViolation,
+                  "consistency", v.guarantee + ": " + v.detail, v.key);
+  }
+  if (!r->audit_clean) events.request_dump("token audit violation");
+  if (!r->consistency_clean) events.request_dump("consistency violation");
+  if (!r->converged) events.request_dump("sites did not converge");
+  if (r->completed_total <= 100) events.request_dump("load starved");
+  if (events.dump_requested()) {
+    r->dump_reasons = events.dump_reasons();
+    r->post_mortem_json = events.to_json();
+    // Split-brain forensics: exact duplicate gseqs (same-epoch fork, the
+    // worst case) and dueling hubs (overlapping mint reigns under bumped
+    // epochs — what asym3 actually produces).
+    const auto merged = events.merged();
+    const auto forks = obs::find_duplicate_mints(merged);
+    if (!forks.empty()) r->fork_evidence = obs::format_fork_evidence(forks);
+    if (const auto duel = obs::find_dueling_hubs(merged); duel.found) {
+      r->fork_evidence += obs::format_hub_duel(duel);
+    }
   }
 }
 

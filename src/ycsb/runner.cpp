@@ -202,6 +202,8 @@ RunResult run_experiment(const RunConfig& config) {
   for (const auto* t : obs.tracer.slowest(config.trace_report_n)) {
     result.slow_traces.push_back(obs.tracer.format_trace(t->id));
   }
+  result.ownership = obs::OwnershipAnalytics::from_events(obs.events.merged());
+  result.measure_end = sim.now();
   return result;
 }
 

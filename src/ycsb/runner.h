@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/ownership.h"
 #include "ycsb/client.h"
 #include "ycsb/metrics.h"
 #include "ycsb/testbed.h"
@@ -62,6 +63,10 @@ struct RunResult {
   std::vector<SpanStat> phase_breakdown;  // one entry per span kind, in order
   std::string metrics_json;               // MetricsRegistry::to_json()
   std::vector<std::string> slow_traces;   // formatted N slowest traces
+  // Token movement over the measurement phase, distilled from the event
+  // log: per-record ownership timelines, migration counts, recall RTTs.
+  obs::OwnershipAnalytics ownership;
+  Time measure_end = 0;  // virtual end of the phase, for open timelines
 
   // WanKeeper-only accounting.
   std::uint64_t wk_local_commits = 0;

@@ -458,6 +458,9 @@ void Peer::establish_leadership() {
   advance_commit_frontier(sync_point_);
   deliver_committed();
   WK_INFO(now(), name(), "established leadership, epoch " + std::to_string(current_epoch_));
+  sim().obs().events.record(now(), net_->site_of(id()),
+                            obs::EventKind::kLeaderElected, name(), "",
+                            /*key=*/"", /*a=*/current_epoch_);
   for (NodeId f : synced_followers_) {
     auto utd = std::make_shared<UpToDateMsg>();
     utd->epoch = current_epoch_;
@@ -707,6 +710,10 @@ void Peer::leader_tick() {
   }
   if (live < quorum()) {
     WK_INFO(now(), name(), "lost quorum contact; stepping down");
+    sim().obs().events.record(now(), net_->site_of(id()),
+                              obs::EventKind::kLeaderLost, name(),
+                              "lost quorum contact", /*key=*/"",
+                              /*a=*/current_epoch_);
     start_election();
     return;
   }

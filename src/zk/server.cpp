@@ -52,6 +52,7 @@ void Server::start() {
 }
 
 void Server::on_crash() {
+  sim().obs().events.record(now(), site(), obs::EventKind::kNodeCrash, name());
   // Connections, queues, watches, and projections are volatile. The tree
   // models the on-disk snapshot at the zab delivered frontier and survives.
   local_sessions_.clear();
@@ -64,6 +65,8 @@ void Server::on_crash() {
 }
 
 void Server::on_restart() {
+  sim().obs().events.record(now(), site(), obs::EventKind::kNodeRestart,
+                            name());
   set_timer(opts_.session_check_interval, [this]() { session_expiry_tick(); });
   set_timer(opts_.touch_relay_interval, [this]() { touch_relay_tick(); });
 }

@@ -7,7 +7,11 @@
 //
 //   seed_hunt --start 1 --count 100 [--batching 0|1|both]
 //             [--scenario crash|calm3|flap3|asym3|hostile5|diurnal5|...]
-//             [--out DIR]
+//             [--out DIR] [--events]
+//
+// --events additionally writes the flight-recorder artifacts (merged event
+// log, Perfetto trace, ownership analytics) for *passing* cells too; failed
+// cells always get them.
 //
 // Exit status: 0 when every (seed, mode) cell passed, 1 otherwise.
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perfetto.h"
 #include "wankeeper/sweep_harness.h"
 
 namespace {
@@ -30,6 +35,7 @@ struct Options {
   int batching = 2;  // 0, 1, or 2 = both
   std::string scenario = "crash";
   std::string out_dir = ".";
+  bool events = false;  // dump flight-recorder artifacts for passing cells too
 };
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -56,6 +62,8 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt->out_dir = v;
+    } else if (arg == "--events") {
+      opt->events = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -77,6 +85,36 @@ bool parse(int argc, char** argv, Options* opt) {
   return true;
 }
 
+std::string cell_stem(std::uint64_t seed, bool batching,
+                      const std::string& out_dir) {
+  return out_dir + "/seed" + std::to_string(seed) +
+         (batching ? "_batched" : "_unbatched");
+}
+
+// The flight-recorder artifacts: the merged post-mortem event log, the
+// Perfetto trace (spans + events, loadable in ui.perfetto.dev), and the
+// token-ownership analytics distilled from the event stream. Returns the
+// event-log path so the failure summary line can point straight at it.
+std::string dump_events(wk::LoadedDeployment& d, const wk::SweepResult& r,
+                        const std::string& stem) {
+  const std::string events_path = stem + ".events.json";
+  {
+    std::ofstream f(events_path);
+    f << (r.post_mortem_json.empty() ? d.sim.obs().events.to_json()
+                                     : r.post_mortem_json);
+  }
+  {
+    std::ofstream f(stem + ".trace.json");
+    f << obs::perfetto_trace_json(d.sim.obs().tracer, d.sim.obs().events);
+  }
+  {
+    std::ofstream f(stem + ".ownership.json");
+    f << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
+             .to_json();
+  }
+  return events_path;
+}
+
 // On failure, dump the full metrics registry plus the slowest traces, the
 // scenario script that was running, and the consistency checker's violation
 // witness (the minimal op subsequence) so the CI artifact carries everything
@@ -89,8 +127,7 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
   // its only witness is the worst possible outcome, so create it here.
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
-  const std::string stem = out_dir + "/seed" + std::to_string(seed) +
-                           (batching ? "_batched" : "_unbatched");
+  const std::string stem = cell_stem(seed, batching, out_dir);
   {
     std::ofstream f(stem + ".metrics.json");
     f << d.sim.obs().metrics.to_json() << "\n";
@@ -105,6 +142,12 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
       << "completed_total: " << r.completed_total << "\n"
       << "consistency_clean: " << r.consistency_clean << " ("
       << r.consistency_violations << " violation(s))\n";
+    for (const std::string& reason : r.dump_reasons) {
+      f << "dump_reason: " << reason << "\n";
+    }
+    if (!r.fork_evidence.empty()) {
+      f << "\nsplit-brain fork evidence:\n" << r.fork_evidence;
+    }
     if (!r.first_consistency_witness.empty()) {
       f << "\nconsistency witness (minimal op subsequence):\n"
         << r.first_consistency_witness;
@@ -112,6 +155,9 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
     if (!scenario_script.empty()) {
       f << "\nscenario script:\n" << scenario_script;
     }
+    f << "\n"
+      << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
+             .table(5, d.sim.now());
     f << "\n" << d.sim.obs().tracer.breakdown_table() << "\n";
     for (const auto* t : d.sim.obs().tracer.slowest(20)) {
       f << d.sim.obs().tracer.format_trace(t->id) << "\n";
@@ -121,7 +167,7 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
 }
 
 bool run_cell(std::uint64_t seed, bool batching, const std::string& scenario,
-              const std::string& out_dir) {
+              const std::string& out_dir, bool events_always) {
   wk::DeploymentConfig cfg;
   if (batching) cfg.enable_batching();
   std::unique_ptr<wk::LoadedDeployment> d;
@@ -138,16 +184,25 @@ bool run_cell(std::uint64_t seed, bool batching, const std::string& scenario,
     r = wk::run_scenario_sweep_on(*d, sc);
     script = sc.to_script();
   }
-  if (r.ok()) return true;
+  if (r.ok()) {
+    if (events_always) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      dump_events(*d, r, cell_stem(seed, batching, out_dir));
+    }
+    return true;
+  }
+  dump_artifacts(*d, r, seed, batching, script, out_dir);
+  const std::string events_path =
+      dump_events(*d, r, cell_stem(seed, batching, out_dir));
   std::printf("FAIL seed %llu batching %d scenario %s: audit_clean=%d "
-              "converged=%d consistency=%d completed=%llu%s%s\n",
+              "converged=%d consistency=%d completed=%llu%s%s events=%s\n",
               static_cast<unsigned long long>(seed), int(batching),
               scenario.c_str(), int(r.audit_clean), int(r.converged),
               int(r.consistency_clean),
               static_cast<unsigned long long>(r.completed_total),
               r.first_violation.empty() ? "" : " violation=",
-              r.first_violation.c_str());
-  dump_artifacts(*d, r, seed, batching, script, out_dir);
+              r.first_violation.c_str(), events_path.c_str());
   return false;
 }
 
@@ -158,7 +213,8 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: seed_hunt [--start N] [--count M] "
-                 "[--batching 0|1|both] [--scenario NAME] [--out DIR]\n");
+                 "[--batching 0|1|both] [--scenario NAME] [--out DIR] "
+                 "[--events]\n");
     return 2;
   }
 
@@ -170,7 +226,9 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = opt.start; s < opt.start + opt.count; ++s) {
     for (const bool batching : modes) {
       ++cells;
-      if (!run_cell(s, batching, opt.scenario, opt.out_dir)) ++failures;
+      if (!run_cell(s, batching, opt.scenario, opt.out_dir, opt.events)) {
+        ++failures;
+      }
     }
     if ((s - opt.start + 1) % 10 == 0) {
       std::printf("progress: %llu/%llu seeds, %llu failure(s)\n",
