@@ -15,6 +15,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kLeaderLost: return "leader_lost";
     case EventKind::kL2Adopt: return "l2_adopt";
     case EventKind::kHubPromote: return "hub_promote";
+    case EventKind::kHubReconcile: return "hub_reconcile";
     case EventKind::kGseqMint: return "gseq_mint";
     case EventKind::kRegister: return "register";
     case EventKind::kResync: return "resync";

@@ -41,6 +41,7 @@ enum class EventKind : std::uint8_t {
   kLeaderLost,     // zab leadership lost / stepped down
   kL2Adopt,        // adopted hub identity: site `a`, L2 epoch `b`
   kHubPromote,     // this site promoted itself to hub, L2 epoch `a`
+  kHubReconcile,   // new-hub catch-up: begin/done/abort/timeout, epoch `a`
   kGseqMint,       // hub stamped gseq `a` (epoch `b`) on a transaction
   // Resync machinery.
   kRegister,     // L1 leader announced itself to the hub (zab epoch `a`)

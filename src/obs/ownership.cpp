@@ -241,6 +241,13 @@ HubDuel find_dueling_hubs(const std::vector<Event>& merged) {
       }
       continue;
     }
+    if (ev.kind == EventKind::kSiteLeave) {
+      // A crashed site cannot serialize anything, and it cannot record the
+      // adoption that would normally end its reign — the crash ends it.
+      const auto it = reigns.find(static_cast<SiteId>(ev.a));
+      if (it != reigns.end() && it->second.ceded < 0) it->second.ceded = ev.t;
+      continue;
+    }
     if (ev.kind != EventKind::kGseqMint) continue;
     Reign& r = reigns[ev.site];
     if (r.mints == 0) r.first = ev.t;

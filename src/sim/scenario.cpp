@@ -234,6 +234,41 @@ Scenario make_scenario(const std::string& name) {
     return s;
   }
 
+  if (name == "asym3_fanout") {
+    // asym3's forced handover under a heavy fan-out backlog: the hub site
+    // carries 3x load when the cut lands, so the promoted hub starts well
+    // behind the frontier the old hub pushed and must pull its way level
+    // before minting. Exercises the RECONCILING pull path at depth.
+    Scenario s("asym3_fanout", 3);
+    s.load_factor(5 * kSecond, 0, 3.0);
+    s.partition_oneway(8 * kSecond, 0, 1, 6 * kSecond);
+    s.load_factor(16 * kSecond, 0, 1.0);
+    return s;
+  }
+
+  if (name == "asym3_double") {
+    // Two handovers back to back: the first cut promotes site 1, then the
+    // return cut silences the *new* hub from site 0's vantage and hands
+    // the role back. Each promotion must resume the counter the previous
+    // regime left and never re-mint either predecessor's slots.
+    Scenario s("asym3_double", 3);
+    s.partition_oneway(8 * kSecond, 0, 1, 6 * kSecond);
+    s.partition_oneway(20 * kSecond, 1, 0, 6 * kSecond);
+    return s;
+  }
+
+  if (name == "asym3_flap") {
+    // The asym3 cut heals and immediately re-flaps twice mid-reconcile:
+    // the promoted hub keeps losing its pull responder for half a second
+    // at a time. Completion must ride on retried pulls + the grace clock,
+    // not on any single uninterrupted exchange.
+    Scenario s("asym3_flap", 3);
+    s.partition_oneway(8 * kSecond, 0, 1, 6 * kSecond);
+    s.partition_oneway(14400 * kMillisecond, 0, 1, 500 * kMillisecond);
+    s.partition_oneway(15400 * kMillisecond, 0, 1, 500 * kMillisecond);
+    return s;
+  }
+
   if (name == "hostile5") {
     // The acceptance scenario (ISSUE 6): heterogeneous 5-site matrix plus a
     // latency reroute, a flapping link, a lossy link, an asymmetric
@@ -277,7 +312,9 @@ Scenario make_scenario(const std::string& name) {
 }
 
 std::vector<std::string> scenario_names() {
-  return {"calm3", "calm5", "flap3", "asym3", "hostile5", "diurnal5"};
+  return {"calm3",       "calm5",       "flap3",      "asym3",
+          "asym3_fanout", "asym3_double", "asym3_flap", "hostile5",
+          "diurnal5"};
 }
 
 LatencyModel scenario_latency(const Scenario& s) {

@@ -70,6 +70,10 @@ void Broker::on_crash() {
   recall_sent_.clear();
   registered_ = false;
   l2_last_heard_ = 0;
+  l2_reconciling_ = false;
+  reconcile_frontiers_.clear();
+  reconcile_pull_sent_.clear();
+  reconcile_deferred_.clear();
 }
 
 void Broker::on_restart() {
@@ -84,11 +88,22 @@ void Broker::became_leader() {
   // delivers before this hook): a stale in-memory counter from an earlier
   // reign here would re-stamp gseqs an interim leader already used, putting
   // two different txns under one counter — receivers keep whichever arrives
-  // first and the sites never converge.
+  // first and the sites never converge. next_gseq() resumes per epoch from
+  // the applied frontier, so zeroing here is what makes the resume run.
   gseq_counter_ = 0;
   registered_ = false;
   l2_last_heard_ = now();  // grace period before lease panic / failover
-  if (site() != l2_site_) send_register();
+  if (site() != l2_site_) {
+    send_register();
+    return;
+  }
+  // Leading the believed-hub site with evidence of prior WAN sequencing:
+  // our replica — and our view of the hub identity itself — may be stale
+  // (a revived hub site does not know it was deposed while down), so catch
+  // up against the other sites before minting anything. A bootstrap leader
+  // (nothing ever applied) serves immediately; deployments starting up are
+  // unaffected.
+  if (!applied_down_by_epoch_.empty()) l2_enter_reconcile("hub leader change");
 }
 
 void Broker::lost_leadership() {
@@ -99,6 +114,12 @@ void Broker::lost_leadership() {
   down_proposed_.clear();
   recall_sent_.clear();
   registered_ = false;
+  // Deferred work dies with the leadership: the requests were never
+  // proposed, and the clients' watchdogs re-drive them at the new leader.
+  l2_reconciling_ = false;
+  reconcile_frontiers_.clear();
+  reconcile_pull_sent_.clear();
+  reconcile_deferred_.clear();
 }
 
 // ----------------------------------------------------------- WAN plumbing
@@ -250,6 +271,14 @@ void Broker::wan_deliver(SiteId from_site, const sim::MessagePtr& inner) {
     handle_wan_request_error(*m);
     return;
   }
+  if (const auto* m = dynamic_cast<const ResyncPullMsg*>(inner.get())) {
+    handle_resync_pull(from_site, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ResyncChunkMsg*>(inner.get())) {
+    handle_resync_chunk(from_site, *m);
+    return;
+  }
 }
 
 // ----------------------------------------------------- L1 head processor
@@ -274,6 +303,14 @@ void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
     return;
   }
   if (l2_role()) {
+    if (l2_reconciling_) {
+      // Serialize nothing while catching up: park the write and replay it
+      // through route_write when reconciliation resolves (which re-routes
+      // it to the real hub if we were superseded meanwhile).
+      reconcile_deferred_.push_back(
+          [this, req, origin_server]() { route_write(req, origin_server); });
+      return;
+    }
     l2_serve(req, site(), origin_server);
     return;
   }
@@ -308,11 +345,23 @@ void Broker::forward_to_l2(const zk::ClientRequest& req, NodeId origin_server) {
 }
 
 void Broker::handle_token_recall(const TokenRecallMsg& m) {
+  // Recalls are sent by the hub; one arriving while we ARE the hub is
+  // from a deposed regime and must not start a return cycle.
+  if (l2_role()) return;
   const auto start_now = site_tokens_.begin_recall(m.keys);
   if (!start_now.empty()) propose_token_return(start_now);
 }
 
 void Broker::propose_token_return(const std::vector<TokenKey>& keys) {
+  // A return is a proposal (it would mint a gseq mid-catch-up): park it
+  // until reconciliation resolves. If we were superseded meanwhile the
+  // replay re-routes through the normal recall machinery.
+  if (l2_reconciling_) {
+    reconcile_deferred_.push_back([this, keys]() {
+      if (is_leader()) propose_token_return(keys);
+    });
+    return;
+  }
   zk::Envelope env;
   env.txn.type = store::TxnType::kTokenReturned;
   env.txn.paths = keys;
@@ -466,6 +515,17 @@ bool Broker::frontier_behind(const std::vector<GseqFrontier>& theirs) const {
   return false;
 }
 
+bool Broker::frontier_ahead(const std::vector<GseqFrontier>& theirs) const {
+  for (const auto& t : theirs) {
+    if (t.counter == 0) continue;
+    const auto it = applied_down_by_epoch_.find(t.epoch);
+    const std::uint64_t mine =
+        it == applied_down_by_epoch_.end() ? 0 : it->second.cum;
+    if (mine < t.counter) return true;
+  }
+  return false;
+}
+
 // --------------------------------------------------- apply-side mirrors
 
 void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
@@ -514,11 +574,16 @@ void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
     transport_.send(l2_site_, std::move(m));
   }
 
-  // L2: hub fan-out in commit (== gseq) order.
-  if (l2_role() && txn.gseq != 0 && txn.type != store::TxnType::kNoop &&
+  // L2: hub fan-out in commit (== gseq) order. Gated while reconciling —
+  // txns pulled during catch-up reach the sites via the resync rounds the
+  // finish step runs, after the gseq counter has safely resumed.
+  if (l2_role() && !l2_reconciling_ && txn.gseq != 0 &&
+      txn.type != store::TxnType::kNoop &&
       txn.type != store::TxnType::kError) {
     l2_fan_out(env);
   }
+  // A pulled txn applying is reconcile progress: it may complete coverage.
+  if (l2_role() && l2_reconciling_ && txn.gseq != 0) l2_reconcile_check();
 }
 
 void Broker::apply_token_marker(const store::Txn& txn) {
@@ -654,7 +719,17 @@ std::vector<SessionId> Broker::pinned_sessions() const {
   // Non-L2 leaders never expire sessions homed elsewhere; the L2 leader
   // relies on heartbeat-carried touches instead (a dead site's sessions
   // then expire naturally).
-  if (l2_role()) return {};
+  if (l2_role()) {
+    if (!l2_reconciling_) return {};
+    // A reconciling hub's liveness view is stale: it missed the
+    // heartbeat-carried touches while it was not the hub, and expiring a
+    // session is a proposal (it would mint a gseq mid-catch-up). Pin every
+    // known session until reconciliation completes.
+    std::vector<SessionId> pinned;
+    pinned.reserve(session_home_.size());
+    for (const auto& [session, home] : session_home_) pinned.push_back(session);
+    return pinned;
+  }
   std::vector<SessionId> pinned;
   for (const auto& [session, home] : session_home_) {
     if (home != site()) pinned.push_back(session);

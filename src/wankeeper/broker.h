@@ -19,6 +19,7 @@
 // exactly as §II-D prescribes.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -68,6 +69,20 @@ struct WanOptions {
   // WAN round trip plus apply time to move that frontier; re-shipping every
   // heartbeat until then would only manufacture dedup-dropped duplicates.
   Time resync_min_interval = 2 * kSecond;
+  // Hub handover catch-up (RECONCILING; DESIGN.md §5d). A hub assuming
+  // service with evidence of prior WAN sequencing must not mint until its
+  // replica covers what the other sites have applied. It waits for every
+  // site to check in under the new regime up to reconcile_grace, then
+  // serves on majority coverage; reconcile_max_wait force-completes a
+  // pathologically stalled catch-up (an ahead site flapping forever) so
+  // the hub cannot wedge — but never before a majority has reported.
+  Time reconcile_grace = 5 * kSecond;
+  Time reconcile_max_wait = 15 * kSecond;
+  // Per-site spacing between reconcile pull retries. The pull itself rides
+  // the reliable transport; retries only chase frontier movement.
+  Time reconcile_pull_interval = 1 * kSecond;
+  // Envelopes per ResyncChunkMsg when answering a pull.
+  std::size_t resync_chunk_max = 32;
   // WAN frame coalescing (default off: one message per frame). With
   // batch.max_msgs > 1, grants/recalls, replicate-downs, and forwards
   // headed to the same site share frames.
@@ -87,6 +102,9 @@ struct BrokerStats {
   std::uint64_t lease_reclaims = 0;
   std::uint64_t fenced_up = 0;      // stale replicate-ups dropped after reclaim
   std::uint64_t fanout_skipped = 0; // fan-outs shed to an unreachable site
+  std::uint64_t reconciles = 0;     // RECONCILING entries on this broker
+  std::uint64_t reconcile_pulls = 0;  // pull rounds sent while catching up
+  std::uint64_t pulled_txns = 0;      // txns adopted from ResyncChunk replies
 };
 
 class Broker : public zk::Server {
@@ -97,6 +115,9 @@ class Broker : public zk::Server {
 
   // --- introspection ---
   bool l2_role() const { return site() == l2_site_ && is_leader(); }
+  // True while a freshly promoted hub is still catching up (RECONCILING):
+  // collecting frontiers, pulling missing txns, deferring client work.
+  bool l2_reconciling() const { return l2_reconciling_; }
   SiteId l2_site() const { return l2_site_; }
   std::uint32_t l2_epoch() const { return l2_epoch_; }
   const SiteTokenTable& site_tokens() const { return site_tokens_; }
@@ -156,6 +177,9 @@ class Broker : public zk::Server {
   // True when our applied frontier exceeds `theirs` in any epoch (the L2
   // uses this to decide a site needs a resync).
   bool frontier_behind(const std::vector<GseqFrontier>& theirs) const;
+  // The inverse: `theirs` exceeds our applied frontier in any epoch (a hub
+  // uses this to decide it must pull from the announcing site).
+  bool frontier_ahead(const std::vector<GseqFrontier>& theirs) const;
 
   // ---- L1 side (broker.cpp) ----
   bool tokens_held_locally(const std::vector<TokenKey>& keys) const;
@@ -191,8 +215,30 @@ class Broker : public zk::Server {
   void l2_reclaim_dead_site_tokens();
   std::uint64_t next_gseq();
 
+  // ---- hub handover catch-up (level2.cpp) ----
+  // A hub entering service with evidence of prior WAN sequencing goes
+  // through RECONCILING before minting; see the functions' definitions and
+  // DESIGN.md §5d for the state machine.
+  void l2_enter_reconcile(const std::string& why);
+  void l2_abort_reconcile(const std::string& why);
+  void l2_reconcile_check();
+  void l2_finish_reconcile(const std::string& how);
+  void l2_send_pull(SiteId dest);
+  void l2_note_fresh_frontier(SiteId from_site,
+                              const std::vector<GseqFrontier>& frontiers);
+  void handle_resync_pull(SiteId from_site, const ResyncPullMsg& m);
+  void handle_resync_chunk(SiteId from_site, const ResyncChunkMsg& m);
+  // Walks the committed log and hands every globally sequenced txn above
+  // `have` (contiguous counter per epoch) to `ship`, expanding noop stubs
+  // of our own origin back into full payloads. Shared by l2_resync_site
+  // (hub -> site refill) and handle_resync_pull (site -> new hub).
+  std::uint64_t ship_missing_gseqs(
+      const std::vector<GseqFrontier>& have,
+      const std::function<void(zk::Envelope&&)>& ship);
+
   // ---- liveness / registration / failover (heartbeat.cpp) ----
   void heartbeat_tick();
+  void send_heartbeats();
   void handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m);
   void handle_heartbeat_reply(SiteId from_site, const WanHeartbeatReplyMsg& m);
   void adopt_l2(SiteId site, std::uint32_t epoch);
@@ -242,6 +288,20 @@ class Broker : public zk::Server {
   std::map<TokenKey, Time> recall_sent_;  // L2: recall RTT measurement
   Time l2_last_heard_ = 0;
   bool registered_ = false;
+  // Hub handover catch-up (volatile, like the rest of the liveness state).
+  bool l2_reconciling_ = false;
+  Time reconcile_started_ = 0;
+  // Whether our replica had no mints for the claimed epoch at entry: if it
+  // had none and a frontier later names that epoch, someone else minted
+  // under it and we must re-bump past them (stale-view promotion race).
+  bool reconcile_epoch_was_fresh_ = false;
+  // Frontiers from sites that acknowledged *this* regime (register, a
+  // heartbeat naming us, or a completed pull) — the freshness census.
+  std::map<SiteId, std::vector<GseqFrontier>> reconcile_frontiers_;
+  std::map<SiteId, Time> reconcile_pull_sent_;  // per-site pull cooldown
+  // Client work arriving while reconciling, replayed in order at finish
+  // (or abort — each closure re-checks the role it needs).
+  std::vector<std::function<void()>> reconcile_deferred_;
   BrokerStats bstats_;
 };
 

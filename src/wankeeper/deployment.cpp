@@ -46,7 +46,10 @@ Broker* Deployment::l2_broker() {
 bool Deployment::wait_ready(Time max_wait) {
   const Time deadline = sim_.now() + max_wait;
   while (sim_.now() < deadline) {
-    bool ready = l2_broker() != nullptr;
+    Broker* l2 = l2_broker();
+    // A reconciling hub is not ready: it defers every write until its
+    // replica covers the majority frontier.
+    bool ready = l2 != nullptr && !l2->l2_reconciling();
     for (std::size_t s = 0; ready && s < sites(); ++s) {
       Broker* leader = site_leader(static_cast<SiteId>(s));
       if (leader == nullptr || (!leader->l2_role() && !leader->registered_)) {

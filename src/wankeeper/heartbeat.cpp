@@ -9,39 +9,47 @@
 
 namespace wankeeper::wk {
 
+void Broker::send_heartbeats() {
+  if (!is_leader()) return;
+  // Sessions homed at this site, reported to the rest of the WAN.
+  std::vector<SessionId> live;
+  for (const auto& [session, home] : session_home_) {
+    if (home == site()) live.push_back(session);
+  }
+  for (std::size_t s = 0; s < directory_->sites(); ++s) {
+    const SiteId dest = static_cast<SiteId>(s);
+    if (dest == site()) continue;
+    auto m = std::make_shared<WanHeartbeatMsg>();
+    m->from_site = site();
+    m->from_node = id();
+    m->zab_epoch = peer()->current_epoch();
+    m->live_sessions = live;
+    m->down_frontiers = down_frontier_vector();
+    m->l2_site = l2_site_;
+    m->l2_epoch = l2_epoch_;
+    // Only the heartbeat headed to the hub carries a trace: that is the
+    // frontier announcement that can trigger a resync, and tracing every
+    // gossip leg would drown the recorder in noise.
+    if (dest == l2_site_) {
+      m->trace = sim().obs().tracer.begin("frontier_announce", site(), now());
+      sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(),
+                              now(),
+                              "heartbeat site " + std::to_string(site()) +
+                                  " -> site " + std::to_string(dest));
+    }
+    raw_send_to_site(dest, std::move(m));
+  }
+}
+
 void Broker::heartbeat_tick() {
   if (is_leader()) {
-    // Sessions homed at this site, reported to the rest of the WAN.
-    std::vector<SessionId> live;
-    for (const auto& [session, home] : session_home_) {
-      if (home == site()) live.push_back(session);
-    }
-    for (std::size_t s = 0; s < directory_->sites(); ++s) {
-      const SiteId dest = static_cast<SiteId>(s);
-      if (dest == site()) continue;
-      auto m = std::make_shared<WanHeartbeatMsg>();
-      m->from_site = site();
-      m->from_node = id();
-      m->zab_epoch = peer()->current_epoch();
-      m->live_sessions = live;
-      m->down_frontiers = down_frontier_vector();
-      m->l2_site = l2_site_;
-      m->l2_epoch = l2_epoch_;
-      // Only the heartbeat headed to the hub carries a trace: that is the
-      // frontier announcement that can trigger a resync, and tracing every
-      // gossip leg would drown the recorder in noise.
-      if (dest == l2_site_) {
-        m->trace = sim().obs().tracer.begin("frontier_announce", site(), now());
-        sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(),
-                                now(),
-                                "heartbeat site " + std::to_string(site()) +
-                                    " -> site " + std::to_string(dest));
-      }
-      raw_send_to_site(dest, std::move(m));
-    }
+    send_heartbeats();
     if (!registered_ && site() != l2_site_) send_register();
     if (l2_role()) l2_reclaim_dead_site_tokens();
     consider_l2_failover();
+    // Time-based reconcile exits (grace, max-wait) need a clock edge even
+    // when no frontier message arrives to drive the check.
+    if (l2_role() && l2_reconciling_) l2_reconcile_check();
   }
   set_timer(wan_.heartbeat_interval, [this]() { heartbeat_tick(); });
 }
@@ -61,27 +69,39 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
     sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
     // Keep the piggybacked sessions alive in our expiry tracker.
     touch_sessions(m.live_sessions);
-    // The site missed fan-outs (lost stream, shed backlog, an old-epoch
-    // hole); re-ship above its contiguous frontier. Resync when the stream
-    // is idle, or when the announced frontier is behind AND did not move
-    // over a whole heartbeat interval: under sustained load the stream is
-    // never idle (new fan-outs keep it busy and the backlog cap keeps
-    // shedding), yet a frozen frontier means a hole that in-flight traffic
-    // will never fill. The cooldown gives each round a chance to land
-    // before the next one re-ships the same range.
-    const auto sent = resync_sent_at_.find(from_site);
-    const bool cooled = sent == resync_sent_at_.end() ||
-                        now() - sent->second >= wan_.resync_min_interval;
-    if (frontier_behind(m.down_frontiers) && cooled &&
-        (transport_.unacked(from_site) == 0 || stagnant)) {
-      sim().obs().events.record(
-          now(), site(), obs::EventKind::kFrontier, name(),
-          stagnant ? "behind and stagnant" : "behind on idle stream",
-          /*key=*/"", /*a=*/static_cast<std::uint64_t>(from_site));
-      l2_resync_site(from_site, m.down_frontiers, m.trace);
-    } else {
-      // No resync this round: the announce trace ends at the hub.
+    if (l2_reconciling_) {
+      // Freshness requires acknowledging THIS regime: a heartbeat still
+      // naming the old hub (or an old epoch) proves the sender exists, not
+      // that it has stopped taking the old hub's fan-outs.
+      if (m.l2_site == site() && m.l2_epoch == l2_epoch_) {
+        l2_note_fresh_frontier(from_site, m.down_frontiers);
+      }
       sim().obs().tracer.end(m.trace, now());
+      if (frontier_ahead(m.down_frontiers)) l2_send_pull(from_site);
+      l2_reconcile_check();
+    } else {
+      // The site missed fan-outs (lost stream, shed backlog, an old-epoch
+      // hole); re-ship above its contiguous frontier. Resync when the
+      // stream is idle, or when the announced frontier is behind AND did
+      // not move over a whole heartbeat interval: under sustained load the
+      // stream is never idle (new fan-outs keep it busy and the backlog
+      // cap keeps shedding), yet a frozen frontier means a hole that
+      // in-flight traffic will never fill. The cooldown gives each round
+      // a chance to land before the next one re-ships the same range.
+      const auto sent = resync_sent_at_.find(from_site);
+      const bool cooled = sent == resync_sent_at_.end() ||
+                          now() - sent->second >= wan_.resync_min_interval;
+      if (frontier_behind(m.down_frontiers) && cooled &&
+          (transport_.unacked(from_site) == 0 || stagnant)) {
+        sim().obs().events.record(
+            now(), site(), obs::EventKind::kFrontier, name(),
+            stagnant ? "behind and stagnant" : "behind on idle stream",
+            /*key=*/"", /*a=*/static_cast<std::uint64_t>(from_site));
+        l2_resync_site(from_site, m.down_frontiers, m.trace);
+      } else {
+        // No resync this round: the announce trace ends at the hub.
+        sim().obs().tracer.end(m.trace, now());
+      }
     }
   } else {
     // We are not the hub this heartbeat hoped for; close the book on it.
@@ -109,7 +129,11 @@ void Broker::handle_heartbeat_reply(SiteId from_site, const WanHeartbeatReplyMsg
 
 void Broker::adopt_l2(SiteId site_id, std::uint32_t epoch) {
   if (site_id == kNoSite) return;
-  if (epoch < l2_epoch_ || (epoch == l2_epoch_ && site_id == l2_site_)) return;
+  if (epoch < l2_epoch_) return;
+  // Equal-epoch claims tie-break to the lowest site id, so two claimants
+  // that promoted under the same epoch on either side of a healed cut
+  // converge on one winner instead of flapping last-writer-wins.
+  if (epoch == l2_epoch_ && site_id >= l2_site_) return;
   WK_INFO(now(), name(),
           "adopting L2 site " + std::to_string(site_id) + " (epoch " +
               std::to_string(epoch) + ")");
@@ -122,7 +146,19 @@ void Broker::adopt_l2(SiteId site_id, std::uint32_t epoch) {
   gseq_counter_ = 0;
   registered_ = false;
   l2_last_heard_ = now();  // grace for the new regime
-  if (is_leader() && site() != l2_site_) send_register();
+  if (site() != l2_site_) {
+    l2_abort_reconcile("superseded by site " + std::to_string(site_id) +
+                       " epoch " + std::to_string(epoch));
+    if (is_leader()) send_register();
+  } else {
+    // Gossip handed the hub role to our own site: a relayed claim came
+    // back with a fresher epoch than we remembered. An L2 does not
+    // register with itself, and it must catch up before it serves.
+    registered_ = true;
+    if (is_leader() && !applied_down_by_epoch_.empty()) {
+      l2_enter_reconcile("adopted own-site hub claim");
+    }
+  }
 }
 
 bool Broker::site_alive(SiteId s) const {
@@ -154,18 +190,36 @@ void Broker::consider_l2_failover() {
     if (site_alive(sid) && sid < candidate) candidate = sid;
   }
   if (candidate != site()) return;  // the other site will promote itself
+  // Claim an epoch past every regime that has *observably minted*: our own
+  // applied map plus every announced frontier. Bumping only the last
+  // epoch we heard re-mints gseqs when our view of the hub was stale —
+  // asym3's one-way cut hid the old hub's own bump from us.
+  std::uint32_t epoch = l2_epoch_;
+  for (const auto& [e, f] : applied_down_by_epoch_) {
+    if (f.cum != 0 || !f.sparse.empty()) epoch = std::max(epoch, e);
+  }
+  for (const auto& [s, frontiers] : site_frontiers_) {
+    (void)s;
+    for (const auto& f : frontiers) {
+      if (f.counter != 0) epoch = std::max(epoch, f.epoch);
+    }
+  }
+  epoch += 1;
   WK_INFO(now(), name(),
           "L2 site " + std::to_string(l2_site_) + " silent for " +
-              format_time(now() - l2_last_heard_) + "; promoting self");
+              format_time(now() - l2_last_heard_) + "; promoting self (epoch " +
+              std::to_string(epoch) + ")");
   sim().obs().events.record(now(), site(), obs::EventKind::kHubPromote, name(),
                             "old hub site " + std::to_string(l2_site_) +
                                 " silent",
-                            /*key=*/"", /*a=*/l2_epoch_ + 1);
-  l2_epoch_ += 1;
+                            /*key=*/"", /*a=*/epoch);
+  l2_epoch_ = epoch;
   l2_site_ = site();
   gseq_counter_ = 0;
   registered_ = true;  // an L2 does not register with itself
   l2_last_heard_ = now();
+  l2_enter_reconcile("self-promotion");
+  send_heartbeats();  // announce the claim now, not a heartbeat later
 }
 
 }  // namespace wankeeper::wk

@@ -4,7 +4,9 @@
 // channels between brokers/servers, which can be ensured by using TCP").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,42 @@ struct GseqFrontier {
     return a.epoch == b.epoch && a.counter == b.counter;
   }
 };
+
+// The coverage target of hub handover catch-up (DESIGN.md §5d): per epoch,
+// the max contiguous counter any announcing site has applied. A freshly
+// promoted hub must reach this before minting — anything below it is a
+// transaction the cluster has already seen and the new hub has not.
+inline std::vector<GseqFrontier> majority_frontier(
+    const std::vector<std::vector<GseqFrontier>>& announced) {
+  std::map<std::uint32_t, std::uint64_t> acc;
+  for (const auto& frontiers : announced) {
+    for (const auto& f : frontiers) {
+      auto& c = acc[f.epoch];
+      c = std::max(c, f.counter);
+    }
+  }
+  std::vector<GseqFrontier> out;
+  out.reserve(acc.size());
+  for (const auto& [epoch, counter] : acc) out.push_back({epoch, counter});
+  return out;
+}
+
+// The epochs where `target` exceeds `have`, and by how much — what a
+// reconciling hub still needs to pull. Empty means covered.
+inline std::vector<GseqFrontier> frontier_deficit(
+    const std::vector<GseqFrontier>& have,
+    const std::vector<GseqFrontier>& target) {
+  std::vector<GseqFrontier> out;
+  for (const auto& t : target) {
+    if (t.counter == 0) continue;
+    std::uint64_t mine = 0;
+    for (const auto& h : have) {
+      if (h.epoch == t.epoch) mine = h.counter;
+    }
+    if (mine < t.counter) out.push_back({t.epoch, t.counter - mine});
+  }
+  return out;
+}
 
 // --- transport framing ---
 
@@ -111,6 +149,40 @@ struct ReplicateUpMsg : sim::Message {
 
 // A returned token (the marker txn already flowed up via ReplicateUp; this
 // is implicit — kept for documentation symmetry; see broker.cpp).
+
+// A reconciling hub announcing its own applied frontiers and asking a site
+// that is ahead to ship what the hub is missing — the inverse of
+// l2_resync_site. Carries the puller's claimed identity: receiving one IS
+// hub gossip, so a responder still following the old regime adopts the
+// claim first and then serves the pull.
+struct ResyncPullMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  std::uint32_t l2_epoch = 0;          // the puller's claimed hub epoch
+  std::vector<GseqFrontier> have;      // puller's contiguous applied frontiers
+  obs::TraceId trace = obs::kNoTrace;  // pull -> chunks -> apply timeline
+  std::size_t wire_size() const override { return 32 + 12 * have.size(); }
+  const char* name() const override { return "wk.resyncPull"; }
+};
+
+// The answer: committed globally-sequenced transactions above the puller's
+// frontier, in log (== gseq) order, chunked. The final chunk (done) also
+// carries the responder's own frontiers, which doubles as its adoption of
+// the puller's regime.
+struct ResyncChunkMsg : sim::Message {
+  SiteId from_site = kNoSite;
+  bool done = false;
+  std::vector<zk::Envelope> envelopes;
+  std::vector<GseqFrontier> frontiers;  // set on the final (done) chunk
+  obs::TraceId trace = obs::kNoTrace;   // set on the final (done) chunk
+  std::size_t wire_size() const override {
+    std::size_t n = 32 + 12 * frontiers.size();
+    for (const auto& e : envelopes) {
+      n += 64 + e.txn.path.size() + e.txn.data.size();
+    }
+    return n;
+  }
+  const char* name() const override { return "wk.resyncChunk"; }
+};
 
 // Site liveness + ephemeral-session piggyback (the paper's WAN Heartbeater)
 // + L2 identity gossip used for failover.

@@ -215,10 +215,16 @@ struct SweepResult {
   std::string post_mortem_json;
   std::string fork_evidence;
   std::vector<std::string> dump_reasons;
+  // Split-brain forensics, computed on EVERY run (not only dumped ones):
+  // a handover that re-mints a gseq or runs two hubs concurrently must
+  // fail the sweep even when the racing histories happen to agree enough
+  // to slip past the client-visible consistency checker.
+  std::size_t duplicate_mints = 0;
+  bool dueling_hubs = false;
 
   bool ok() const {
     return audit_clean && converged && consistency_clean &&
-           completed_total > 100;
+           duplicate_mints == 0 && !dueling_hubs && completed_total > 100;
   }
 };
 
@@ -253,18 +259,30 @@ inline void finish_sweep(LoadedDeployment& d, SweepResult* r) {
   if (!r->consistency_clean) events.request_dump("consistency violation");
   if (!r->converged) events.request_dump("sites did not converge");
   if (r->completed_total <= 100) events.request_dump("load starved");
+
+  // Split-brain forensics run on every sweep: exact duplicate gseqs
+  // (same-slot fork, the worst case) and dueling hubs (overlapping mint
+  // reigns — what asym3 produced before handover reconciliation). These
+  // are first-class failures, not just post-mortem color: two racing
+  // histories can agree enough to slip past the client-visible checker
+  // and still prove the sequencer forked.
+  const auto merged = events.merged();
+  const auto forks = obs::find_duplicate_mints(merged);
+  r->duplicate_mints = forks.size();
+  const auto duel = obs::find_dueling_hubs(merged);
+  r->dueling_hubs = duel.found;
+  if (!forks.empty()) {
+    r->fork_evidence = obs::format_fork_evidence(forks);
+    events.request_dump("duplicate gseq mint");
+  }
+  if (duel.found) {
+    r->fork_evidence += obs::format_hub_duel(duel);
+    events.request_dump("dueling hubs");
+  }
+
   if (events.dump_requested()) {
     r->dump_reasons = events.dump_reasons();
     r->post_mortem_json = events.to_json();
-    // Split-brain forensics: exact duplicate gseqs (same-epoch fork, the
-    // worst case) and dueling hubs (overlapping mint reigns under bumped
-    // epochs — what asym3 actually produces).
-    const auto merged = events.merged();
-    const auto forks = obs::find_duplicate_mints(merged);
-    if (!forks.empty()) r->fork_evidence = obs::format_fork_evidence(forks);
-    if (const auto duel = obs::find_dueling_hubs(merged); duel.found) {
-      r->fork_evidence += obs::format_hub_duel(duel);
-    }
   }
 }
 

@@ -82,6 +82,33 @@ TEST(Gseq, EpochCounterRoundTripAndOrdering) {
             wk::kGseqCounterMask);
 }
 
+TEST(Gseq, MajorityFrontierTakesPerEpochMax) {
+  const std::vector<std::vector<wk::GseqFrontier>> announced = {
+      {{1, 40}, {2, 7}},
+      {{1, 55}},
+      {{2, 12}, {3, 0}},
+  };
+  const auto target = wk::majority_frontier(announced);
+  ASSERT_EQ(target.size(), 3u);
+  EXPECT_EQ(target[0], (wk::GseqFrontier{1, 55}));
+  EXPECT_EQ(target[1], (wk::GseqFrontier{2, 12}));
+  EXPECT_EQ(target[2], (wk::GseqFrontier{3, 0}));
+  EXPECT_TRUE(wk::majority_frontier({}).empty());
+}
+
+TEST(Gseq, FrontierDeficitListsMissingSpans) {
+  const std::vector<wk::GseqFrontier> have = {{1, 55}, {2, 5}};
+  const std::vector<wk::GseqFrontier> target = {
+      {1, 55}, {2, 12}, {3, 9}, {4, 0}};
+  const auto deficit = wk::frontier_deficit(have, target);
+  ASSERT_EQ(deficit.size(), 2u);
+  EXPECT_EQ(deficit[0], (wk::GseqFrontier{2, 7}));  // partially applied epoch
+  EXPECT_EQ(deficit[1], (wk::GseqFrontier{3, 9}));  // wholly missing epoch
+  // Zero-counter announcements carry no data and are never a deficit, and a
+  // hub that matches the target exactly has nothing left to pull.
+  EXPECT_TRUE(wk::frontier_deficit(target, target).empty());
+}
+
 // ---------------------------------------------------------------------------
 // Scenario tests for the resync mechanisms.
 
@@ -287,6 +314,27 @@ TEST(RecoveryFault, CrashAtZabResyncRequested) {
   d.net.set_drop_rate(0.0);
   d.sim.run_for(20 * kSecond);
   EXPECT_GT(d.sim.faults().fires("zab.resync_request"), 0u);
+  quiesce_and_check(d);
+}
+
+// Crash the freshly promoted hub the instant it sends its first catch-up
+// pull: mid-RECONCILING, writes parked in the deferred queue, frontier maps
+// half-built, nothing minted yet. The site re-elects; the next leader
+// re-derives the hub claim from gossip, re-enters reconciliation from its
+// own applied state, and the deployment must still converge on one hub.
+TEST(RecoveryFault, CrashNewHubMidReconciliation) {
+  LoadedDeployment d(347);
+  arm_crash_on_first_fire(d, "wk.reconcile_pull", "wk-s1");
+  d.start_load();
+  d.sim.run_for(8 * kSecond);
+  // One-way cut: site 1 stops hearing the hub's heartbeats and fan-outs
+  // while the rest of the WAN still hears site 1. It promotes itself while
+  // behind, so the reconcile must pull — and the armed point kills it there.
+  d.net.partition_oneway(kVA, kCA, true);
+  d.sim.run_for(12 * kSecond);
+  d.net.partition_oneway(kVA, kCA, false);
+  d.sim.run_for(30 * kSecond);
+  EXPECT_GT(d.sim.faults().fires("wk.reconcile_pull"), 0u);
   quiesce_and_check(d);
 }
 

@@ -141,7 +141,9 @@ void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
       << "converged: " << r.converged << "\n"
       << "completed_total: " << r.completed_total << "\n"
       << "consistency_clean: " << r.consistency_clean << " ("
-      << r.consistency_violations << " violation(s))\n";
+      << r.consistency_violations << " violation(s))\n"
+      << "duplicate_mints: " << r.duplicate_mints << "\n"
+      << "dueling_hubs: " << r.dueling_hubs << "\n";
     for (const std::string& reason : r.dump_reasons) {
       f << "dump_reason: " << reason << "\n";
     }
@@ -196,10 +198,11 @@ bool run_cell(std::uint64_t seed, bool batching, const std::string& scenario,
   const std::string events_path =
       dump_events(*d, r, cell_stem(seed, batching, out_dir));
   std::printf("FAIL seed %llu batching %d scenario %s: audit_clean=%d "
-              "converged=%d consistency=%d completed=%llu%s%s events=%s\n",
+              "converged=%d consistency=%d dup_mints=%zu duel=%d "
+              "completed=%llu%s%s events=%s\n",
               static_cast<unsigned long long>(seed), int(batching),
               scenario.c_str(), int(r.audit_clean), int(r.converged),
-              int(r.consistency_clean),
+              int(r.consistency_clean), r.duplicate_mints, int(r.dueling_hubs),
               static_cast<unsigned long long>(r.completed_total),
               r.first_violation.empty() ? "" : " violation=",
               r.first_violation.c_str(), events_path.c_str());
