@@ -6,7 +6,7 @@ Bookie::Bookie(sim::Simulator& sim, std::string name, Time add_latency)
     : Actor(sim, std::move(name)), add_latency_(add_latency) {}
 
 void Bookie::on_message(NodeId from, const sim::MessagePtr& msg) {
-  if (const auto* m = dynamic_cast<const AddEntryMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<AddEntryMsg>(msg.get())) {
     const LedgerId ledger = m->ledger;
     const EntryId entry = m->entry;
     auto payload = m->payload;
@@ -14,15 +14,15 @@ void Bookie::on_message(NodeId from, const sim::MessagePtr& msg) {
     set_timer(add_latency_, [this, from, ledger, entry, payload]() {
       ledgers_[ledger][entry] = payload;
       ++entries_stored_;
-      auto ack = std::make_shared<AddEntryAckMsg>();
+      auto ack = sim::make_mutable_message<AddEntryAckMsg>();
       ack->ledger = ledger;
       ack->entry = entry;
       net_->send(id(), from, std::move(ack));
     });
     return;
   }
-  if (const auto* m = dynamic_cast<const ReadEntryMsg*>(msg.get())) {
-    auto reply = std::make_shared<ReadEntryReplyMsg>();
+  if (const auto* m = sim::msg_cast<ReadEntryMsg>(msg.get())) {
+    auto reply = sim::make_mutable_message<ReadEntryReplyMsg>();
     reply->ledger = m->ledger;
     reply->entry = m->entry;
     const auto lit = ledgers_.find(m->ledger);

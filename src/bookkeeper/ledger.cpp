@@ -32,7 +32,7 @@ void LedgerWriter::send_next() {
   }
   acks_.clear();
   for (NodeId bookie : ensemble_) {
-    auto m = std::make_shared<AddEntryMsg>();
+    auto m = sim::make_mutable_message<AddEntryMsg>();
     m->ledger = ledger_;
     m->entry = next_entry_;
     m->payload = payload_;
@@ -41,7 +41,7 @@ void LedgerWriter::send_next() {
 }
 
 void LedgerWriter::on_message(NodeId from, const sim::MessagePtr& msg) {
-  const auto* ack = dynamic_cast<const AddEntryAckMsg*>(msg.get());
+  const auto* ack = sim::msg_cast<AddEntryAckMsg>(msg.get());
   if (ack == nullptr || !writing_) return;
   if (ack->ledger != ledger_ || ack->entry != next_entry_) return;
   acks_.insert(from);

@@ -1,0 +1,86 @@
+// Immutable shared byte buffer for transaction payloads. A Zab entry's
+// payload used to be a std::vector<std::uint8_t> that was deep-copied at
+// every hop of its life — leader log append, per-follower append, SYNC
+// snapshots, observer INFORMs, L2 refills. The bytes never change after
+// serialization, so Bytes keeps one heap block behind a shared_ptr and
+// makes every "copy" a reference-count bump.
+//
+// Counters (thread-local; the sim is single-threaded and the parallel seed
+// hunter forks) let bench/bench_sim report how many payload bytes were
+// materialized vs. shared structurally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+namespace wankeeper::common {
+
+struct BytesStats {
+  std::uint64_t bytes_materialized = 0;  // deep copies into fresh storage
+  std::uint64_t bytes_shared = 0;        // copy-constructions that only bumped a refcount
+};
+
+inline BytesStats& bytes_stats() {
+  thread_local BytesStats stats;
+  return stats;
+}
+
+class Bytes {
+ public:
+  Bytes() = default;
+  Bytes(std::vector<std::uint8_t> v) {  // NOLINT(google-explicit-constructor)
+    bytes_stats().bytes_materialized += v.size();
+    if (!v.empty()) {
+      data_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(v));
+    }
+  }
+  Bytes(std::initializer_list<std::uint8_t> il) {
+    bytes_stats().bytes_materialized += il.size();
+    if (il.size() != 0) {
+      data_ = std::make_shared<const std::vector<std::uint8_t>>(il);
+    }
+  }
+
+  Bytes(const Bytes& other) : data_(other.data_) {
+    bytes_stats().bytes_shared += size();
+  }
+  Bytes& operator=(const Bytes& other) {
+    data_ = other.data_;
+    bytes_stats().bytes_shared += size();
+    return *this;
+  }
+  Bytes(Bytes&&) noexcept = default;
+  Bytes& operator=(Bytes&&) noexcept = default;
+
+  const std::uint8_t* data() const {
+    return data_ == nullptr ? nullptr : data_->data();
+  }
+  std::size_t size() const { return data_ == nullptr ? 0 : data_->size(); }
+  bool empty() const { return size() == 0; }
+
+  // Materialize a mutable copy (rare: only where an API insists on vectors).
+  std::vector<std::uint8_t> to_vector() const {
+    bytes_stats().bytes_materialized += size();
+    return data_ == nullptr ? std::vector<std::uint8_t>{} : *data_;
+  }
+
+  bool operator==(const Bytes& other) const {
+    if (data_ == other.data_) return true;
+    return size() == other.size() &&
+           (size() == 0 ||
+            std::memcmp(data(), other.data(), size()) == 0);
+  }
+  bool operator==(const std::vector<std::uint8_t>& v) const {
+    return size() == v.size() &&
+           (size() == 0 || std::memcmp(data(), v.data(), size()) == 0);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+};
+
+}  // namespace wankeeper::common

@@ -127,6 +127,7 @@ std::string MetricsRegistry::to_table() const {
 }
 
 void MetricsRegistry::clear() {
+  ++epoch_;  // invalidate every cached handle
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -4,8 +4,9 @@
 // Everything is driven by virtual time and deterministic counters, so two
 // runs with the same seed produce byte-identical snapshots — the registry
 // is the ground truth the benches cite when a perf PR claims a win.
-// Handles returned by counter()/gauge()/histogram() are stable for the
-// registry's lifetime (node-based map), so hot paths can cache them.
+// Handles returned by counter()/gauge()/histogram() are stable until the
+// next clear() (node-based map), so hot paths can cache them as long as
+// they revalidate against epoch() — clear() bumps it.
 #pragma once
 
 #include <cstdint>
@@ -89,10 +90,49 @@ class MetricsRegistry {
 
   void clear();
 
+  // Incremented by clear(); cached metric handles from an older epoch are
+  // dangling and must be re-resolved.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
+  std::uint64_t epoch_ = 0;
   std::map<std::pair<std::string, SiteId>, Counter> counters_;
   std::map<std::pair<std::string, SiteId>, Gauge> gauges_;
   std::map<std::pair<std::string, SiteId>, Histogram> histograms_;
+};
+
+// Cached handles for per-event hot paths: the (name, site) map lookup —
+// which builds a temporary std::string key — happens once, then the raw
+// pointer is reused until clear() bumps the epoch. Keep one per call site
+// as a member of the recording object.
+class CachedCounter {
+ public:
+  Counter& at(MetricsRegistry& reg, const char* name, SiteId site) {
+    if (ptr_ == nullptr || epoch_ != reg.epoch()) {
+      ptr_ = &reg.counter(name, site);
+      epoch_ = reg.epoch();
+    }
+    return *ptr_;
+  }
+
+ private:
+  Counter* ptr_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+class CachedHistogram {
+ public:
+  Histogram& at(MetricsRegistry& reg, const char* name, SiteId site) {
+    if (ptr_ == nullptr || epoch_ != reg.epoch()) {
+      ptr_ = &reg.histogram(name, site);
+      epoch_ = reg.epoch();
+    }
+    return *ptr_;
+  }
+
+ private:
+  Histogram* ptr_ = nullptr;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace wankeeper::obs

@@ -48,7 +48,7 @@ void append_process_metadata(std::string* out, const std::set<SiteId>& sites,
 }
 
 void append_spans(std::string* out, const Tracer& tracer, bool* first) {
-  for (const auto& [id, rec] : tracer.traces()) {
+  for (const TraceRecord& rec : tracer.traces()) {
     for (const Span& span : rec.spans) {
       *out += *first ? "\n" : ",\n";
       *first = false;
@@ -57,9 +57,9 @@ void append_spans(std::string* out, const Tracer& tracer, bool* first) {
               std::string(span_kind_name(span.kind)) + "\", \"cat\": \"" +
               json_escape(rec.what) + "\", \"pid\": " +
               std::to_string(pid_of(span.site)) + ", \"tid\": " +
-              std::to_string(id) + ", \"ts\": " + std::to_string(span.start) +
+              std::to_string(rec.id) + ", \"ts\": " + std::to_string(span.start) +
               ", \"dur\": " + std::to_string(dur) + ", \"args\": {\"trace\": " +
-              std::to_string(id) + ", \"where\": \"" + json_escape(span.where) +
+              std::to_string(rec.id) + ", \"where\": \"" + json_escape(span.where) +
               "\"";
       if (!span.detail.empty()) {
         *out += ", \"detail\": \"" + json_escape(span.detail) + "\"";
@@ -75,9 +75,9 @@ void append_spans(std::string* out, const Tracer& tracer, bool* first) {
       *out += "    {\"ph\": \"X\", \"name\": \"" + json_escape(rec.what) +
               "\", \"cat\": \"request\", \"pid\": " +
               std::to_string(pid_of(rec.origin_site)) + ", \"tid\": " +
-              std::to_string(id) + ", \"ts\": " + std::to_string(rec.begin) +
+              std::to_string(rec.id) + ", \"ts\": " + std::to_string(rec.begin) +
               ", \"dur\": " + std::to_string(rec.duration()) +
-              ", \"args\": {\"trace\": " + std::to_string(id) + "}}";
+              ", \"args\": {\"trace\": " + std::to_string(rec.id) + "}}";
     }
   }
 }
@@ -104,7 +104,7 @@ void append_events(std::string* out, const EventLog& events, bool* first) {
 
 std::string export_json(const Tracer& tracer, const EventLog* events) {
   std::set<SiteId> sites;
-  for (const auto& [id, rec] : tracer.traces()) {
+  for (const TraceRecord& rec : tracer.traces()) {
     sites.insert(rec.origin_site);
     for (const Span& span : rec.spans) sites.insert(span.site);
   }

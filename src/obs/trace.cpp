@@ -18,36 +18,35 @@ const char* span_kind_name(SpanKind kind) {
 
 TraceId Tracer::begin(std::string what, SiteId origin_site, Time now) {
   if (!enabled_) return kNoTrace;
-  const TraceId id = next_++;
-  TraceRecord& rec = traces_[id];
-  rec.id = id;
+  TraceRecord& rec = traces_.emplace_back();
+  rec.id = traces_.size();
   rec.what = std::move(what);
   rec.origin_site = origin_site;
   rec.begin = now;
-  return id;
+  return rec.id;
 }
 
 void Tracer::open(TraceId trace, SpanKind kind, SiteId site,
                   const std::string& where, Time now, std::string detail) {
-  if (!enabled_ || trace == kNoTrace) return;
-  const auto it = traces_.find(trace);
-  if (it == traces_.end()) return;
+  if (!enabled_) return;
+  TraceRecord* rec = lookup(trace);
+  if (rec == nullptr) return;
   Span span;
   span.kind = kind;
   span.site = site;
   span.where = where;
   span.detail = std::move(detail);
   span.start = now;
-  it->second.spans.push_back(std::move(span));
+  rec->spans.push_back(std::move(span));
 }
 
 void Tracer::close(TraceId trace, SpanKind kind, SiteId site, Time now) {
-  if (!enabled_ || trace == kNoTrace) return;
-  const auto it = traces_.find(trace);
-  if (it == traces_.end()) return;
+  if (!enabled_) return;
+  TraceRecord* rec = lookup(trace);
+  if (rec == nullptr) return;
   // Latest open span of this (kind, site): work inside one site is
   // sequential per trace, so this pairing is unambiguous.
-  auto& spans = it->second.spans;
+  auto& spans = rec->spans;
   for (auto rit = spans.rbegin(); rit != spans.rend(); ++rit) {
     if (rit->kind == kind && rit->site == site && !rit->closed()) {
       rit->end = now;
@@ -64,15 +63,15 @@ void Tracer::point(TraceId trace, SpanKind kind, SiteId site,
 }
 
 void Tracer::end(TraceId trace, Time now) {
-  if (!enabled_ || trace == kNoTrace) return;
-  const auto it = traces_.find(trace);
-  if (it == traces_.end()) return;
-  it->second.end = now;
+  if (!enabled_) return;
+  TraceRecord* rec = lookup(trace);
+  if (rec == nullptr) return;
+  rec->end = now;
 }
 
 const TraceRecord* Tracer::find(TraceId trace) const {
-  const auto it = traces_.find(trace);
-  return it == traces_.end() ? nullptr : &it->second;
+  if (trace == kNoTrace || trace > traces_.size()) return nullptr;
+  return &traces_[trace - 1];
 }
 
 std::vector<SpanKind> Tracer::kinds_of(TraceId trace) const {
@@ -86,7 +85,7 @@ std::vector<SpanKind> Tracer::kinds_of(TraceId trace) const {
 
 LatencyRecorder Tracer::span_latencies(SpanKind kind) const {
   LatencyRecorder rec;
-  for (const auto& [id, trace] : traces_) {
+  for (const auto& trace : traces_) {
     for (const auto& span : trace.spans) {
       if (span.kind == kind && span.closed()) rec.record(span.duration());
     }
@@ -96,7 +95,7 @@ LatencyRecorder Tracer::span_latencies(SpanKind kind) const {
 
 std::vector<const TraceRecord*> Tracer::slowest(std::size_t n) const {
   std::vector<const TraceRecord*> all;
-  for (const auto& [id, trace] : traces_) {
+  for (const auto& trace : traces_) {
     if (trace.completed()) all.push_back(&trace);
   }
   std::sort(all.begin(), all.end(),
@@ -154,9 +153,6 @@ std::string Tracer::breakdown_table() const {
   return out;
 }
 
-void Tracer::clear() {
-  traces_.clear();
-  next_ = 1;
-}
+void Tracer::clear() { traces_.clear(); }
 
 }  // namespace wankeeper::obs

@@ -18,12 +18,11 @@
 // was never opened is a harmless no-op (retransmits, bounced frames).
 //
 // Everything is deterministic: ids from a counter, timestamps from the
-// virtual clock, storage in ordered maps — same seed, same traces, byte for
+// virtual clock, storage in id order — same seed, same traces, byte for
 // byte.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -85,7 +84,8 @@ class Tracer {
 
   // --- queries ---
   const TraceRecord* find(TraceId trace) const;
-  const std::map<TraceId, TraceRecord>& traces() const { return traces_; }
+  // All records in id order (ids are dense from 1; index i holds id i+1).
+  const std::vector<TraceRecord>& traces() const { return traces_; }
   std::size_t trace_count() const { return traces_.size(); }
 
   // Span kinds of one trace in open order (assertion-friendly).
@@ -106,9 +106,16 @@ class Tracer {
   void clear();
 
  private:
+  TraceRecord* lookup(TraceId trace) {
+    if (trace == kNoTrace || trace > traces_.size()) return nullptr;
+    return &traces_[trace - 1];
+  }
+
   bool enabled_ = true;
-  TraceId next_ = 1;
-  std::map<TraceId, TraceRecord> traces_;
+  // Ids are handed out densely from 1, so the records live in a flat vector
+  // (the tracer sits on the per-message hot path; a node-based map's
+  // allocate/find/rebalance was a measurable share of the event loop).
+  std::vector<TraceRecord> traces_;
 };
 
 }  // namespace wankeeper::obs

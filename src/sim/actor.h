@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -57,11 +58,21 @@ class Actor {
 
   // Timer scheduling bound to the current incarnation: if the actor crashes
   // or restarts before the timer fires, the callback is silently skipped.
-  EventId set_timer(Time delay, std::function<void()> fn) {
+  // Templated so the callable flows straight into the simulator's event
+  // slab instead of bouncing through a std::function allocation.
+  //
+  // The weak liveness token guards the case where the actor is *destroyed*
+  // (not just crashed) while the timer is pending: the wrapper must decide
+  // "skip" without dereferencing `this` at all, because the memory may
+  // already belong to someone else.
+  template <typename F>
+  EventId set_timer(Time delay, F&& fn) {
     const std::uint64_t inc = incarnation_;
-    return sim_.after(delay, [this, inc, f = std::move(fn)]() {
-      if (up_ && incarnation_ == inc) f();
-    });
+    return sim_.after(
+        delay, [this, alive = std::weak_ptr<const char>(live_token_), inc,
+                f = std::forward<F>(fn)]() {
+          if (!alive.expired() && up_ && incarnation_ == inc) f();
+        });
   }
   void cancel_timer(EventId id) { sim_.cancel(id); }
 
@@ -78,6 +89,8 @@ class Actor {
   NodeId id_ = kNoNode;
   bool up_ = true;
   std::uint64_t incarnation_ = 0;
+  // Dies with the actor; pending timer wrappers hold a weak_ptr to it.
+  std::shared_ptr<const char> live_token_ = std::make_shared<const char>('\0');
 };
 
 }  // namespace wankeeper::sim

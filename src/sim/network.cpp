@@ -5,10 +5,6 @@
 
 namespace wankeeper::sim {
 
-namespace {
-const LinkState kPristineLink{};
-}  // namespace
-
 Actor::~Actor() {
   if (registered_net_ != nullptr) registered_net_->forget(id_);
 }
@@ -79,7 +75,21 @@ Time LatencyModel::sample(Rng& rng, SiteId from, SiteId to) const {
 }
 
 Network::Network(Simulator& sim, LatencyModel latency)
-    : sim_(sim), latency_(std::move(latency)) {}
+    : sim_(sim), latency_(std::move(latency)) {
+  links_.resize(latency_.sites() * latency_.sites());
+  wan_counters_.resize(latency_.sites());
+  refresh_wan_counters();
+}
+
+void Network::refresh_wan_counters() {
+  for (std::size_t s = 0; s < latency_.sites(); ++s) {
+    wan_counters_[s].msgs =
+        &sim_.obs().metrics.counter("net.wan_msgs", static_cast<SiteId>(s));
+    wan_counters_[s].bytes =
+        &sim_.obs().metrics.counter("net.wan_bytes", static_cast<SiteId>(s));
+  }
+  wan_counters_epoch_ = sim_.obs().metrics.epoch();
+}
 
 NodeId Network::add_node(Actor& actor, SiteId site) {
   if (site < 0 || static_cast<std::size_t>(site) >= latency_.sites()) {
@@ -88,6 +98,7 @@ NodeId Network::add_node(Actor& actor, SiteId site) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(&actor);
   sites_.push_back(site);
+  channel_clock_.emplace_back();
   actor.id_ = id;
   actor.registered_net_ = this;
   actor.start();
@@ -114,12 +125,11 @@ Actor& Network::actor(NodeId node) const {
 }
 
 const LinkState& Network::link(SiteId from, SiteId to) const {
-  const auto it = links_.find({from, to});
-  return it == links_.end() ? kPristineLink : it->second;
+  return links_.at(link_index(from, to));
 }
 
 LinkState& Network::link_mut(SiteId from, SiteId to) {
-  return links_[{from, to}];
+  return links_.at(link_index(from, to));
 }
 
 bool Network::partitioned(SiteId a, SiteId b) const {
@@ -142,9 +152,7 @@ void Network::partition(SiteId a, SiteId b, bool cut) {
 }
 
 void Network::partition_oneway(SiteId from, SiteId to, bool cut) {
-  LinkState& l = link_mut(from, to);
-  l.cut = cut;
-  if (l.pristine()) links_.erase({from, to});
+  link_mut(from, to).cut = cut;
 }
 
 void Network::isolate_site(SiteId s, bool cut) {
@@ -158,7 +166,6 @@ void Network::degrade_link(SiteId from, SiteId to, double drop_rate,
   LinkState& l = link_mut(from, to);
   l.drop_rate = drop_rate;
   l.extra_latency = extra_latency;
-  if (l.pristine()) links_.erase({from, to});
 }
 
 void Network::set_latency(SiteId from, SiteId to, Time one_way, bool symmetric) {
@@ -170,7 +177,8 @@ void Network::scale_wan_latency(double factor) { latency_.scale_wan(factor); }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   ++stats_.messages_sent;
-  stats_.bytes_sent += msg->wire_size();
+  const std::size_t wire = msg->wire_size();
+  stats_.bytes_sent += wire;
   if (!alive(from) || !alive(to)) {
     ++stats_.messages_dropped;
     return;
@@ -179,8 +187,12 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   const SiteId sto = site_of(to);
   if (sfrom != sto) {
     ++stats_.wan_messages;
-    sim_.obs().metrics.counter("net.wan_msgs", sfrom).inc();
-    sim_.obs().metrics.counter("net.wan_bytes", sfrom).inc(msg->wire_size());
+    if (wan_counters_epoch_ != sim_.obs().metrics.epoch()) {
+      refresh_wan_counters();
+    }
+    const WanCounters& wc = wan_counters_[static_cast<std::size_t>(sfrom)];
+    wc.msgs->inc();
+    wc.bytes->inc(wire);
   }
 
   const LinkState& lnk = link(sfrom, sto);
@@ -197,12 +209,16 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   // FIFO per ordered channel: never deliver before an earlier send. WAN
   // messages additionally hold the channel for their occupancy, so a burst
   // of frames serializes onto the link instead of arriving together.
-  auto& clock = channel_clock_[{from, to}];
+  auto& row = channel_clock_[static_cast<std::size_t>(from)];
+  if (row.size() <= static_cast<std::size_t>(to)) {
+    row.resize(nodes_.size());
+  }
+  Time& clock = row[static_cast<std::size_t>(to)];
   Time occupancy = 0;
   if (sfrom != sto) {
     occupancy = wan_cost_.per_message;
     if (wan_cost_.bytes_per_us > 0.0) {
-      occupancy += static_cast<Time>(static_cast<double>(msg->wire_size()) /
+      occupancy += static_cast<Time>(static_cast<double>(wire) /
                                      wan_cost_.bytes_per_us);
     }
   }

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/actor.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
@@ -149,15 +149,35 @@ class Network {
 
  private:
   LinkState& link_mut(SiteId from, SiteId to);
+  std::size_t link_index(SiteId from, SiteId to) const {
+    return static_cast<std::size_t>(from) * latency_.sites() +
+           static_cast<std::size_t>(to);
+  }
 
   Simulator& sim_;
   LatencyModel latency_;
   std::vector<Actor*> nodes_;
   std::vector<SiteId> sites_;
   // FIFO enforcement: earliest allowed next delivery per ordered channel.
-  std::map<std::pair<NodeId, NodeId>, Time> channel_clock_;
-  // Directed (from, to) site-pair link overrides; absent means pristine.
-  std::map<std::pair<SiteId, SiteId>, LinkState> links_;
+  // Flat per-sender rows indexed by destination NodeId (node ids are dense
+  // and never recycled); rows grow lazily, zero means "never used". This
+  // sits on the per-send hot path — it used to be a std::map of pairs.
+  std::vector<std::vector<Time>> channel_clock_;
+  // Directed (from, to) site-pair link state, dense S×S (sites are fixed at
+  // construction). Default-constructed cells are pristine, so lookups are
+  // one index — no tree walk, no insertion-order dependence by design.
+  std::vector<LinkState> links_;
+  // Per-site WAN metric handles, resolved once per registry epoch instead
+  // of a string-keyed registry lookup on every cross-site send. An obs
+  // clear() between experiment phases bumps the epoch and dangles these, so
+  // the hot path revalidates with one integer compare.
+  struct WanCounters {
+    obs::Counter* msgs = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  void refresh_wan_counters();
+  std::vector<WanCounters> wan_counters_;
+  std::uint64_t wan_counters_epoch_ = 0;
   double drop_rate_ = 0.0;
   WanCostModel wan_cost_;
   NetworkStats stats_;

@@ -18,42 +18,98 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
   });
 }
 
-EventId Simulator::at(Time when, std::function<void()> fn) {
-  if (when < now_) throw std::invalid_argument("scheduling into the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  ++profile_.events_scheduled;
-  if (queue_.size() > profile_.queue_high_water) {
-    profile_.queue_high_water = queue_.size();
+Simulator::~Simulator() {
+  // Destroy callables still sitting in queued slots (their captures may own
+  // resources); the slab itself is freed by the chunk vector.
+  while (!queue_.empty()) {
+    const QueueEntry ev = queue_.top();
+    queue_.pop();
+    Slot& s = *slot(ev.slot);
+    if (s.queued) {
+      s.destroy(s.heap != nullptr ? s.heap : static_cast<void*>(s.buf));
+      s.queued = false;
+    }
   }
-  return id;
+}
+
+void Simulator::throw_past_schedule() {
+  throw std::invalid_argument("scheduling into the past");
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  ++live_;
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slot(index)->next_free;
+    ++profile_.events_pooled;
+    return index;
+  }
+  const std::uint32_t index =
+      static_cast<std::uint32_t>(chunks_.size() * kSlotsPerChunk);
+  chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+  // Chain all but the first new slot onto the free list.
+  Slot* chunk = chunks_.back().get();
+  for (std::size_t i = kSlotsPerChunk - 1; i >= 1; --i) {
+    chunk[i].next_free = free_head_;
+    free_head_ = index + static_cast<std::uint32_t>(i);
+  }
+  ++profile_.events_grown;
+  return index;
+}
+
+void Simulator::release_slot(std::uint32_t index, Slot& s) {
+  ++s.gen;  // retire every EventId handed out for this occupancy
+  s.invoke = nullptr;
+  s.destroy = nullptr;
+  s.heap = nullptr;
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
 void Simulator::cancel(EventId id) {
-  cancelled_.insert(id);
+  const std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (static_cast<std::size_t>(index) >= chunks_.size() * kSlotsPerChunk) {
+    return;
+  }
+  Slot& s = *slot(index);
+  if (s.gen != gen || !s.queued || s.cancelled) return;
+  s.cancelled = true;
+  ++cancelled_live_;
   ++profile_.events_cancelled;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const QueueEntry ev = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    Slot& s = *slot(ev.slot);
+    --live_;
+    if (s.cancelled) {
+      --cancelled_live_;
+      s.queued = false;
+      s.destroy(s.heap != nullptr ? s.heap : static_cast<void*>(s.buf));
+      release_slot(ev.slot, s);
       continue;
     }
+    s.queued = false;
     now_ = ev.time;
     ++profile_.events_executed;
+    void* fn = s.heap != nullptr ? s.heap : static_cast<void*>(s.buf);
     if (profiling_) {
       const auto begin = std::chrono::steady_clock::now();
-      ev.fn();
+      s.invoke(fn);
       const auto end = std::chrono::steady_clock::now();
       profile_.wall_ns += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
               .count());
     } else {
-      ev.fn();
+      s.invoke(fn);
     }
+    // The callable may have scheduled new events (possibly growing the
+    // slab) but the executing slot stays ours until this moment.
+    s.destroy(s.heap != nullptr ? s.heap : static_cast<void*>(s.buf));
+    release_slot(ev.slot, s);
     return true;
   }
   return false;
@@ -66,11 +122,16 @@ void Simulator::run(std::uint64_t max_events) {
 
 void Simulator::run_until(Time deadline) {
   while (!queue_.empty()) {
-    // Peek past cancelled entries without executing.
-    Event ev = queue_.top();
-    if (cancelled_.count(ev.id) != 0) {
+    // Drop cancelled entries without executing or advancing the clock.
+    const QueueEntry ev = queue_.top();
+    Slot& s = *slot(ev.slot);
+    if (s.cancelled) {
       queue_.pop();
-      cancelled_.erase(ev.id);
+      --live_;
+      --cancelled_live_;
+      s.queued = false;
+      s.destroy(s.heap != nullptr ? s.heap : static_cast<void*>(s.buf));
+      release_slot(ev.slot, s);
       continue;
     }
     if (ev.time > deadline) break;

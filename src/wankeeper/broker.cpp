@@ -34,9 +34,10 @@ WanTransport Broker::make_transport(SiteId site_id) {
       });
   t.set_frame_observer([this](std::size_t msgs) {
     auto& metrics = sim().obs().metrics;
-    metrics.counter("wan.frames_sent", site()).inc();
-    metrics.counter("wan.frame_msgs", site()).inc(msgs);
-    metrics.histogram("wan.frame_batch", site()).record(static_cast<Time>(msgs));
+    frames_sent_ctr_.at(metrics, "wan.frames_sent", site()).inc();
+    frame_msgs_ctr_.at(metrics, "wan.frame_msgs", site()).inc(msgs);
+    frame_batch_hist_.at(metrics, "wan.frame_batch", site())
+        .record(static_cast<Time>(msgs));
   });
   return t;
 }
@@ -184,12 +185,12 @@ void Broker::wan_tick() {
 
 void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
   const bool is_wan =
-      dynamic_cast<const WanEnvelopeMsg*>(msg.get()) != nullptr ||
-      dynamic_cast<const WanAckMsg*>(msg.get()) != nullptr ||
-      dynamic_cast<const WanHeartbeatMsg*>(msg.get()) != nullptr ||
-      dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get()) != nullptr ||
-      dynamic_cast<const RegisterMsg*>(msg.get()) != nullptr ||
-      dynamic_cast<const RegisterOkMsg*>(msg.get()) != nullptr;
+      sim::msg_cast<WanEnvelopeMsg>(msg.get()) != nullptr ||
+      sim::msg_cast<WanAckMsg>(msg.get()) != nullptr ||
+      sim::msg_cast<WanHeartbeatMsg>(msg.get()) != nullptr ||
+      sim::msg_cast<WanHeartbeatReplyMsg>(msg.get()) != nullptr ||
+      sim::msg_cast<RegisterMsg>(msg.get()) != nullptr ||
+      sim::msg_cast<RegisterOkMsg>(msg.get()) != nullptr;
   if (!is_wan) {
     Server::on_message(from, msg);
     return;
@@ -211,39 +212,39 @@ void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
   // bounced through a same-site follower arrives with that follower as the
   // sender, which is exactly how leader hints used to rot (all traffic then
   // routes through a stale node and one crash blackholes the site).
-  if (const auto* m = dynamic_cast<const WanEnvelopeMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WanEnvelopeMsg>(msg.get())) {
     // A frame's stream_epoch IS the sender's zab epoch, so data traffic
     // triggers the reset as fast as a heartbeat would.
     observe_peer(m->from_site, m->from_node, m->stream_epoch);
-  } else if (const auto* m = dynamic_cast<const WanAckMsg*>(msg.get())) {
+  } else if (const auto* m = sim::msg_cast<WanAckMsg>(msg.get())) {
     // An ack's stream_epoch names *our* stream, not the acker's leadership.
     observe_peer(m->from_site, m->from_node, /*zab_epoch=*/0);
-  } else if (const auto* m = dynamic_cast<const WanHeartbeatMsg*>(msg.get())) {
+  } else if (const auto* m = sim::msg_cast<WanHeartbeatMsg>(msg.get())) {
     observe_peer(m->from_site, m->from_node, m->zab_epoch);
   } else if (const auto* m =
-                 dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get())) {
+                 sim::msg_cast<WanHeartbeatReplyMsg>(msg.get())) {
     observe_peer(m->from_site, m->from_node, m->zab_epoch);
-  } else if (const auto* m = dynamic_cast<const RegisterMsg*>(msg.get())) {
+  } else if (const auto* m = sim::msg_cast<RegisterMsg>(msg.get())) {
     observe_peer(m->from_site, m->from_node, m->zab_epoch);
-  } else if (const auto* m = dynamic_cast<const RegisterOkMsg*>(msg.get())) {
+  } else if (const auto* m = sim::msg_cast<RegisterOkMsg>(msg.get())) {
     observe_peer(m->from_site, m->from_node, m->zab_epoch);
   }
 
   if (transport_.on_message(kNoSite, msg)) return;
 
-  if (const auto* m = dynamic_cast<const WanHeartbeatMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WanHeartbeatMsg>(msg.get())) {
     handle_heartbeat(m->from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const WanHeartbeatReplyMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WanHeartbeatReplyMsg>(msg.get())) {
     handle_heartbeat_reply(m->from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const RegisterMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<RegisterMsg>(msg.get())) {
     handle_register(m->from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const RegisterOkMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<RegisterOkMsg>(msg.get())) {
     handle_register_ok(*m);
     return;
   }
@@ -251,31 +252,31 @@ void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
 
 void Broker::wan_deliver(SiteId from_site, const sim::MessagePtr& inner) {
   if (!is_leader()) return;  // stream content is meaningless off-leader
-  if (const auto* m = dynamic_cast<const WanForwardMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<WanForwardMsg>(inner.get())) {
     handle_wan_forward(from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const ReplicateUpMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<ReplicateUpMsg>(inner.get())) {
     handle_replicate_up(from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const ReplicateDownMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<ReplicateDownMsg>(inner.get())) {
     handle_replicate_down(from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const TokenRecallMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<TokenRecallMsg>(inner.get())) {
     handle_token_recall(*m);
     return;
   }
-  if (const auto* m = dynamic_cast<const WanRequestErrorMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<WanRequestErrorMsg>(inner.get())) {
     handle_wan_request_error(*m);
     return;
   }
-  if (const auto* m = dynamic_cast<const ResyncPullMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<ResyncPullMsg>(inner.get())) {
     handle_resync_pull(from_site, *m);
     return;
   }
-  if (const auto* m = dynamic_cast<const ResyncChunkMsg*>(inner.get())) {
+  if (const auto* m = sim::msg_cast<ResyncChunkMsg>(inner.get())) {
     handle_resync_chunk(from_site, *m);
     return;
   }
@@ -338,7 +339,7 @@ void Broker::forward_to_l2(const zk::ClientRequest& req, NodeId origin_server) {
                           now(),
                           "site " + std::to_string(site()) + " -> site " +
                               std::to_string(l2_site_) + " (forward)");
-  auto m = std::make_shared<WanForwardMsg>();
+  auto m = sim::make_mutable_message<WanForwardMsg>();
   m->request = req;
   m->origin_server = origin_server;
   transport_.send(l2_site_, std::move(m));
@@ -415,7 +416,7 @@ void Broker::handle_wan_request_error(const WanRequestErrorMsg& m) {
 }
 
 void Broker::send_register() {
-  auto m = std::make_shared<RegisterMsg>();
+  auto m = sim::make_mutable_message<RegisterMsg>();
   m->from_site = site();
   m->from_node = id();
   m->zab_epoch = peer()->current_epoch();
@@ -462,7 +463,7 @@ void Broker::resend_local_origin_after(Zxid up_frontier) {
     }
     env.txn.zxid = entry.zxid;
     env.txn.origin_zxid = entry.zxid;
-    auto m = std::make_shared<ReplicateUpMsg>();
+    auto m = sim::make_mutable_message<ReplicateUpMsg>();
     m->envelope = std::move(env);
     transport_.send(l2_site_, std::move(m));
   }
@@ -569,7 +570,7 @@ void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
                             now(),
                             "site " + std::to_string(site()) + " -> site " +
                                 std::to_string(l2_site_) + " (up)");
-    auto m = std::make_shared<ReplicateUpMsg>();
+    auto m = sim::make_mutable_message<ReplicateUpMsg>();
     m->envelope = std::move(up);
     transport_.send(l2_site_, std::move(m));
   }

@@ -303,6 +303,9 @@ class Broker : public zk::Server {
   // (or abort — each closure re-checks the role it needs).
   std::vector<std::function<void()>> reconcile_deferred_;
   BrokerStats bstats_;
+  obs::CachedCounter frames_sent_ctr_;
+  obs::CachedCounter frame_msgs_ctr_;
+  obs::CachedHistogram frame_batch_hist_;
 };
 
 }  // namespace wankeeper::wk

@@ -19,7 +19,7 @@ void Broker::send_heartbeats() {
   for (std::size_t s = 0; s < directory_->sites(); ++s) {
     const SiteId dest = static_cast<SiteId>(s);
     if (dest == site()) continue;
-    auto m = std::make_shared<WanHeartbeatMsg>();
+    auto m = sim::make_mutable_message<WanHeartbeatMsg>();
     m->from_site = site();
     m->from_node = id();
     m->zab_epoch = peer()->current_epoch();
@@ -108,7 +108,7 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
     sim().obs().tracer.end(m.trace, now());
   }
 
-  auto reply = std::make_shared<WanHeartbeatReplyMsg>();
+  auto reply = sim::make_mutable_message<WanHeartbeatReplyMsg>();
   reply->from_site = site();
   reply->from_node = id();
   reply->zab_epoch = peer()->current_epoch();

@@ -1,0 +1,357 @@
+// Seed-hunt driver: the engine behind tools/seed_hunt and the determinism
+// tests. Runs the canonical crash sweep or a named hostile-WAN scenario
+// sweep over a seed range in one or both batching modes, dumps
+// flight-recorder artifacts for failing cells, and (optionally) fans the
+// range out across forked worker processes.
+//
+// Parallel semantics: each (seed, mode) cell is an independent seeded
+// simulation sharing nothing with its neighbors, so splitting the range
+// across processes cannot change any cell's outcome. Workers append their
+// FAIL lines to per-chunk part files; the parent merges them in seed order,
+// so `report.txt` is byte-identical whether the hunt ran with --parallel 1
+// or --parallel 16. Processes (not threads) keep the thread-local frame
+// arena and RNG state trivially isolated.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WK_HUNT_HAS_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define WK_HUNT_HAS_FORK 0
+#endif
+
+#include "obs/perfetto.h"
+#include "wankeeper/sweep_harness.h"
+
+namespace wankeeper::wk::hunt {
+
+struct HuntOptions {
+  std::uint64_t start = 1;
+  std::uint64_t count = 50;
+  int batching = 2;  // 0, 1, or 2 = both
+  std::string scenario = "crash";
+  std::string out_dir = ".";
+  bool events = false;   // dump flight-recorder artifacts for passing cells too
+  int parallel = 1;      // worker processes; 0 = hardware concurrency
+  bool progress = true;  // stream progress lines to stdout (serial only)
+};
+
+struct HuntReport {
+  std::uint64_t cells = 0;
+  std::uint64_t failures = 0;
+  // One line per failed cell, in (seed, mode) order; exactly what was
+  // printed to stdout and written to <out>/report.txt.
+  std::vector<std::string> fail_lines;
+
+  bool ok() const { return failures == 0; }
+};
+
+inline std::string cell_stem(std::uint64_t seed, bool batching,
+                             const std::string& out_dir) {
+  return out_dir + "/seed" + std::to_string(seed) +
+         (batching ? "_batched" : "_unbatched");
+}
+
+// The flight-recorder artifacts: the merged post-mortem event log, the
+// Perfetto trace (spans + events, loadable in ui.perfetto.dev), and the
+// token-ownership analytics distilled from the event stream. Returns the
+// event-log path so the failure summary line can point straight at it.
+inline std::string dump_events(wk::LoadedDeployment& d, const wk::SweepResult& r,
+                               const std::string& stem) {
+  const std::string events_path = stem + ".events.json";
+  {
+    std::ofstream f(events_path);
+    f << (r.post_mortem_json.empty() ? d.sim.obs().events.to_json()
+                                     : r.post_mortem_json);
+  }
+  {
+    std::ofstream f(stem + ".trace.json");
+    f << obs::perfetto_trace_json(d.sim.obs().tracer, d.sim.obs().events);
+  }
+  {
+    std::ofstream f(stem + ".ownership.json");
+    f << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
+             .to_json();
+  }
+  return events_path;
+}
+
+// On failure, dump the full metrics registry plus the slowest traces, the
+// scenario script that was running, and the consistency checker's violation
+// witness (the minimal op subsequence) so the CI artifact carries everything
+// needed to start debugging without a rerun.
+inline void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
+                           std::uint64_t seed, bool batching,
+                           const std::string& scenario_script,
+                           const std::string& out_dir) {
+  // ofstream fails silently on a missing directory — a CI failure losing
+  // its only witness is the worst possible outcome, so create it here.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string stem = cell_stem(seed, batching, out_dir);
+  {
+    std::ofstream f(stem + ".metrics.json");
+    f << d.sim.obs().metrics.to_json() << "\n";
+  }
+  {
+    std::ofstream f(stem + ".report.txt");
+    f << "seed: " << seed << "\n"
+      << "batching: " << (batching ? "on" : "off") << "\n"
+      << "audit_clean: " << r.audit_clean << "\n"
+      << "first_violation: " << r.first_violation << "\n"
+      << "converged: " << r.converged << "\n"
+      << "completed_total: " << r.completed_total << "\n"
+      << "consistency_clean: " << r.consistency_clean << " ("
+      << r.consistency_violations << " violation(s))\n"
+      << "duplicate_mints: " << r.duplicate_mints << "\n"
+      << "dueling_hubs: " << r.dueling_hubs << "\n";
+    for (const std::string& reason : r.dump_reasons) {
+      f << "dump_reason: " << reason << "\n";
+    }
+    if (!r.fork_evidence.empty()) {
+      f << "\nsplit-brain fork evidence:\n" << r.fork_evidence;
+    }
+    if (!r.first_consistency_witness.empty()) {
+      f << "\nconsistency witness (minimal op subsequence):\n"
+        << r.first_consistency_witness;
+    }
+    if (!scenario_script.empty()) {
+      f << "\nscenario script:\n" << scenario_script;
+    }
+    f << "\n"
+      << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
+             .table(5, d.sim.now());
+    f << "\n" << d.sim.obs().tracer.breakdown_table() << "\n";
+    for (const auto* t : d.sim.obs().tracer.slowest(20)) {
+      f << d.sim.obs().tracer.format_trace(t->id) << "\n";
+    }
+  }
+}
+
+// Runs one (seed, mode) cell. On failure the FAIL summary line (without
+// trailing newline) is appended to *fail_line and artifacts are dumped.
+inline bool run_cell(std::uint64_t seed, bool batching,
+                     const std::string& scenario, const std::string& out_dir,
+                     bool events_always, std::string* fail_line) {
+  wk::DeploymentConfig cfg;
+  if (batching) cfg.enable_batching();
+  std::unique_ptr<wk::LoadedDeployment> d;
+  wk::SweepResult r;
+  std::string script;
+  if (scenario == "crash") {
+    d = std::make_unique<wk::LoadedDeployment>(seed, cfg);
+    r = wk::run_crash_sweep_on(*d, seed);
+  } else {
+    sim::Scenario sc = sim::make_scenario(scenario);
+    cfg.sites = sc.sites();
+    d = std::make_unique<wk::LoadedDeployment>(seed, cfg,
+                                               sim::scenario_latency(sc));
+    r = wk::run_scenario_sweep_on(*d, sc);
+    script = sc.to_script();
+  }
+  if (r.ok()) {
+    if (events_always) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      dump_events(*d, r, cell_stem(seed, batching, out_dir));
+    }
+    return true;
+  }
+  dump_artifacts(*d, r, seed, batching, script, out_dir);
+  const std::string events_path =
+      dump_events(*d, r, cell_stem(seed, batching, out_dir));
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "FAIL seed %llu batching %d scenario %s: audit_clean=%d "
+                "converged=%d consistency=%d dup_mints=%zu duel=%d "
+                "completed=%llu%s%s events=%s",
+                static_cast<unsigned long long>(seed), int(batching),
+                scenario.c_str(), int(r.audit_clean), int(r.converged),
+                int(r.consistency_clean), r.duplicate_mints,
+                int(r.dueling_hubs),
+                static_cast<unsigned long long>(r.completed_total),
+                r.first_violation.empty() ? "" : " violation=",
+                r.first_violation.c_str(), events_path.c_str());
+  *fail_line = buf;
+  return false;
+}
+
+inline std::vector<bool> hunt_modes(int batching) {
+  std::vector<bool> modes;
+  if (batching == 0 || batching == 2) modes.push_back(false);
+  if (batching == 1 || batching == 2) modes.push_back(true);
+  return modes;
+}
+
+// Serial walk of [start, start + count); the workhorse both for --parallel 1
+// and for each forked worker's chunk.
+inline HuntReport run_range(const HuntOptions& opt, std::uint64_t start,
+                            std::uint64_t count) {
+  const std::vector<bool> modes = hunt_modes(opt.batching);
+  HuntReport rep;
+  for (std::uint64_t s = start; s < start + count; ++s) {
+    for (const bool batching : modes) {
+      ++rep.cells;
+      std::string line;
+      if (!run_cell(s, batching, opt.scenario, opt.out_dir, opt.events,
+                    &line)) {
+        ++rep.failures;
+        rep.fail_lines.push_back(line);
+        std::printf("%s\n", line.c_str());
+        std::printf("artifacts: %s.{metrics.json,report.txt}\n",
+                    cell_stem(s, batching, opt.out_dir).c_str());
+      }
+    }
+    if (opt.progress && (s - start + 1) % 10 == 0) {
+      std::printf("progress: %llu/%llu seeds, %llu failure(s)\n",
+                  static_cast<unsigned long long>(s - start + 1),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(rep.failures));
+      std::fflush(stdout);
+    }
+  }
+  return rep;
+}
+
+// Writes the merged <out>/report.txt: every FAIL line in (seed, mode) order
+// followed by the summary line. Identical for serial and parallel runs.
+inline void write_report(const HuntOptions& opt, const HuntReport& rep) {
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  std::ofstream f(opt.out_dir + "/report.txt");
+  for (const std::string& line : rep.fail_lines) f << line << "\n";
+  f << "seed_hunt done: scenario " << opt.scenario << ", " << rep.cells
+    << " cell(s), " << rep.failures << " failure(s)\n";
+}
+
+#if WK_HUNT_HAS_FORK
+// Fork-per-chunk parallel driver. Each worker runs a contiguous slice of the
+// seed range and appends its FAIL lines to <out>/.hunt_part_<i>; the parent
+// merges the parts in slice order (== seed order) and deletes them. Workers
+// share the artifact directory without coordination because every cell's
+// files are keyed by (seed, mode).
+inline HuntReport run_parallel(const HuntOptions& opt, int workers) {
+  const std::uint64_t n = static_cast<std::uint64_t>(workers);
+  const std::uint64_t base = opt.count / n;
+  const std::uint64_t extra = opt.count % n;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+
+  struct Chunk {
+    std::uint64_t start = 0, count = 0;
+    pid_t pid = -1;
+    std::string part_path;
+  };
+  std::vector<Chunk> chunks;
+  std::uint64_t next = opt.start;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Chunk c;
+    c.start = next;
+    c.count = base + (i < extra ? 1 : 0);
+    next += c.count;
+    if (c.count == 0) continue;
+    c.part_path = opt.out_dir + "/.hunt_part_" + std::to_string(i);
+    chunks.push_back(c);
+  }
+
+  for (Chunk& c : chunks) {
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Worker: quiet serial run of the slice, FAIL lines to the part file.
+      HuntOptions sub = opt;
+      sub.progress = false;
+      std::freopen("/dev/null", "w", stdout);  // suppress streaming output
+      const HuntReport part = run_range(sub, c.start, c.count);
+      std::ofstream f(c.part_path);
+      f << part.cells << " " << part.failures << "\n";
+      for (const std::string& line : part.fail_lines) f << line << "\n";
+      f.close();
+      _exit(part.failures == 0 ? 0 : 1);
+    }
+    c.pid = pid;  // pid < 0 (fork failure) handled below: run inline
+    if (pid < 0) {
+      HuntOptions sub = opt;
+      sub.progress = false;
+      const HuntReport part = run_range(sub, c.start, c.count);
+      std::ofstream f(c.part_path);
+      f << part.cells << " " << part.failures << "\n";
+      for (const std::string& line : part.fail_lines) f << line << "\n";
+    }
+  }
+
+  HuntReport rep;
+  for (Chunk& c : chunks) {
+    if (c.pid > 0) {
+      int status = 0;
+      waitpid(c.pid, &status, 0);
+      if (!WIFEXITED(status)) {
+        // A crashed worker is itself a failure: report the slice so the
+        // range is never silently under-covered.
+        rep.failures += 1;
+        rep.fail_lines.push_back(
+            "FAIL worker for seeds [" + std::to_string(c.start) + ", " +
+            std::to_string(c.start + c.count) + ") died before finishing");
+      }
+    }
+    std::ifstream f(c.part_path);
+    std::uint64_t cells = 0, failures = 0;
+    if (f >> cells >> failures) {
+      rep.cells += cells;
+      rep.failures += failures;
+      std::string line;
+      std::getline(f, line);  // eat the counts line's newline
+      while (std::getline(f, line)) {
+        if (!line.empty()) {
+          rep.fail_lines.push_back(line);
+          std::printf("%s\n", line.c_str());
+        }
+      }
+    }
+    std::filesystem::remove(c.part_path, ec);
+  }
+  return rep;
+}
+#endif  // WK_HUNT_HAS_FORK
+
+// Entry point: picks serial or parallel, writes the merged report, prints
+// the summary line. Returns the report (failures == 0 means a green run).
+inline HuntReport run_hunt(const HuntOptions& opt) {
+  int workers = opt.parallel;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  if (workers > 1 && static_cast<std::uint64_t>(workers) > opt.count) {
+    workers = static_cast<int>(opt.count == 0 ? 1 : opt.count);
+  }
+  HuntReport rep;
+#if WK_HUNT_HAS_FORK
+  if (workers > 1) {
+    rep = run_parallel(opt, workers);
+  } else {
+    rep = run_range(opt, opt.start, opt.count);
+  }
+#else
+  // No fork on this platform: fall back to the serial walk.
+  rep = run_range(opt, opt.start, opt.count);
+#endif
+  write_report(opt, rep);
+  std::printf("seed_hunt done: scenario %s, %llu cell(s), %llu failure(s)\n",
+              opt.scenario.c_str(), static_cast<unsigned long long>(rep.cells),
+              static_cast<unsigned long long>(rep.failures));
+  return rep;
+}
+
+}  // namespace wankeeper::wk::hunt

@@ -140,7 +140,7 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   // The RegisterOk still goes out mid-reconcile: it carries our identity
   // claim (the register doubles as the site's adoption of it) and the up
   // frontier the site needs to re-ship its unacked local txns.
-  auto reply = std::make_shared<RegisterOkMsg>();
+  auto reply = sim::make_mutable_message<RegisterOkMsg>();
   reply->from_site = site();
   reply->from_node = id();
   reply->zab_epoch = peer()->current_epoch();
@@ -194,7 +194,7 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
       if (from_site == site()) {
         send_request_error(origin_server, req.session, req.xid, probe.rc);
       } else {
-        auto err = std::make_shared<WanRequestErrorMsg>();
+        auto err = sim::make_mutable_message<WanRequestErrorMsg>();
         err->origin_server = origin_server;
         err->session = req.session;
         err->xid = req.xid;
@@ -253,7 +253,7 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
     if (from_site == site()) {
       send_request_error(origin_server, req.session, req.xid, prep.rc);
     } else {
-      auto err = std::make_shared<WanRequestErrorMsg>();
+      auto err = sim::make_mutable_message<WanRequestErrorMsg>();
       err->origin_server = origin_server;
       err->session = req.session;
       err->xid = req.xid;
@@ -304,7 +304,7 @@ void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
                               name(), "", key,
                               /*a=*/static_cast<std::uint64_t>(owner));
   }
-  auto m = std::make_shared<TokenRecallMsg>();
+  auto m = sim::make_mutable_message<TokenRecallMsg>();
   m->keys = keys;
   transport_.send(owner, std::move(m));
 }
@@ -324,7 +324,7 @@ void Broker::l2_serve_unparked(std::vector<PendingRemote> ready) {
 // is exactly what makes its frontier a pure function of applied txns.
 void Broker::l2_send_down(SiteId dest, const zk::Envelope& env, bool resync,
                           obs::TraceId resync_trace) {
-  auto m = std::make_shared<ReplicateDownMsg>();
+  auto m = sim::make_mutable_message<ReplicateDownMsg>();
   m->envelope = env;
   // The message's epoch names the *sending regime*, not the txn's mint
   // epoch (which rides in its gseq): a current hub re-shipping an older
@@ -568,9 +568,16 @@ void Broker::l2_finish_reconcile(const std::string& how) {
   // Fan-out was gated during catch-up, so the txns we pulled never left
   // this site: resync every known site up to our (now-covering) replica
   // before replaying the deferred writes — the replay mints fresh gseqs
-  // that fan out normally on top.
+  // that fan out normally on top. A resync fires the wk.resync_sent fault
+  // point, whose observer may crash this broker synchronously — on_crash()
+  // clears site_frontiers_, so walk a snapshot and stop if the role dies.
+  std::vector<std::pair<SiteId, std::vector<GseqFrontier>>> resync_plan;
   for (const auto& [s, frontiers] : site_frontiers_) {
     if (s == site()) continue;
+    resync_plan.emplace_back(s, frontiers);
+  }
+  for (const auto& [s, frontiers] : resync_plan) {
+    if (!l2_role()) return;  // crashed/deposed mid-walk; state already reset
     l2_resync_site(s, frontiers);
   }
   reconcile_frontiers_.clear();
@@ -659,13 +666,20 @@ void Broker::l2_reconcile_check() {
 
   // Not done: chase whoever is ahead of us. Fresh or not — a pull carries
   // our identity claim as gossip, so it also converts a still-deluded old
-  // hub into a responder.
+  // hub into a responder. A pull fires the wk.reconcile_pull fault point,
+  // whose observer may crash this broker synchronously — on_crash() clears
+  // both frontier maps, so collect the targets first, then send.
+  std::vector<SiteId> chase;
   for (const auto& [s, frontiers] : site_frontiers_) {
     if (s == site() || !frontier_ahead(frontiers)) continue;
-    l2_send_pull(s);
+    chase.push_back(s);
   }
   for (const auto& [s, frontiers] : reconcile_frontiers_) {
-    if (frontier_ahead(frontiers)) l2_send_pull(s);
+    if (frontier_ahead(frontiers)) chase.push_back(s);
+  }
+  for (const SiteId s : chase) {
+    if (!l2_role()) return;  // crashed/deposed mid-walk; nothing left to pull
+    l2_send_pull(s);
   }
 }
 
@@ -679,7 +693,7 @@ void Broker::l2_send_pull(SiteId dest) {
   reconcile_pull_sent_[dest] = now();
   ++bstats_.reconcile_pulls;
   sim().obs().metrics.counter("reconcile.pulls_sent", site()).inc();
-  auto m = std::make_shared<ResyncPullMsg>();
+  auto m = sim::make_mutable_message<ResyncPullMsg>();
   m->from_site = site();
   m->l2_epoch = l2_epoch_;
   m->have = down_frontier_vector();
@@ -696,7 +710,7 @@ void Broker::l2_send_pull(SiteId dest) {
   sim().faults().fire("wk.reconcile_pull", name());
 }
 
-void Broker::handle_resync_pull(SiteId from_site, const ResyncPullMsg& m) {
+void Broker::handle_resync_pull(SiteId /*from_site*/, const ResyncPullMsg& m) {
   // The pull is gossip: the sender claims to be the hub at m.l2_epoch.
   // A responder still following the old regime adopts the claim first
   // (lowest-site tie-breaks apply), so answering implies acknowledging.
@@ -708,14 +722,14 @@ void Broker::handle_resync_pull(SiteId from_site, const ResyncPullMsg& m) {
     sim().obs().tracer.end(m.trace, now());
     return;
   }
-  auto chunk = std::make_shared<ResyncChunkMsg>();
+  auto chunk = sim::make_mutable_message<ResyncChunkMsg>();
   chunk->from_site = site();
   const std::uint64_t shipped =
       ship_missing_gseqs(m.have, [&](zk::Envelope&& env) {
         chunk->envelopes.push_back(std::move(env));
         if (chunk->envelopes.size() >= wan_.resync_chunk_max) {
           transport_.send(m.from_site, std::move(chunk));
-          chunk = std::make_shared<ResyncChunkMsg>();
+          chunk = sim::make_mutable_message<ResyncChunkMsg>();
           chunk->from_site = site();
         }
       });

@@ -51,7 +51,7 @@ void WanTransport::flush_all() {
 
 void WanTransport::flush_stream(SiteId dest, OutStream& stream) {
   if (stream.pending.empty()) return;
-  auto frame = std::make_shared<WanEnvelopeMsg>();
+  auto frame = sim::make_mutable_message<WanEnvelopeMsg>();
   frame->from_site = my_site_;
   frame->from_node = from_node_;
   frame->stream_epoch = epoch_;
@@ -70,11 +70,11 @@ void WanTransport::flush_stream(SiteId dest, OutStream& stream) {
 
 bool WanTransport::on_message(SiteId implied_from, const sim::MessagePtr& msg) {
   (void)implied_from;
-  if (const auto* m = dynamic_cast<const WanEnvelopeMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WanEnvelopeMsg>(msg.get())) {
     handle_envelope(*m);
     return true;
   }
-  if (const auto* m = dynamic_cast<const WanAckMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WanAckMsg>(msg.get())) {
     handle_ack(*m);
     return true;
   }
@@ -100,22 +100,32 @@ void WanTransport::handle_envelope(const WanEnvelopeMsg& m) {
     const std::uint64_t seq = m.seq + i;
     if (seq >= stream.expected) stream.buffer.emplace(seq, m.inners[i]);
   }
-  while (!stream.buffer.empty() &&
-         stream.buffer.begin()->first == stream.expected) {
-    const sim::MessagePtr inner = stream.buffer.begin()->second;
-    stream.buffer.erase(stream.buffer.begin());
-    ++stream.expected;
+  // Draining hands each inner message to the broker, where a fault-point
+  // observer may crash this node synchronously — on_crash() resets the
+  // transport and frees every in-stream, so re-resolve the stream after
+  // every delivery and stop (no ack: this incarnation is dead) if it
+  // vanished under us.
+  for (;;) {
+    auto it = in_.find(m.from_site);
+    if (it == in_.end()) return;
+    InStream& s = it->second;
+    if (s.buffer.empty() || s.buffer.begin()->first != s.expected) {
+      // One cumulative ack per frame (also re-acks duplicates so the
+      // sender stops resending).
+      auto ack = sim::make_mutable_message<WanAckMsg>();
+      ack->from_site = my_site_;
+      ack->from_node = from_node_;
+      ack->stream_epoch = s.epoch;
+      ack->stream_gen = s.gen;
+      ack->cumulative = s.expected - 1;
+      raw_send_(m.from_site, std::move(ack));
+      return;
+    }
+    const sim::MessagePtr inner = s.buffer.begin()->second;
+    s.buffer.erase(s.buffer.begin());
+    ++s.expected;
     deliver_(m.from_site, inner);
   }
-  // One cumulative ack per frame (also re-acks duplicates so the sender
-  // stops resending).
-  auto ack = std::make_shared<WanAckMsg>();
-  ack->from_site = my_site_;
-  ack->from_node = from_node_;
-  ack->stream_epoch = stream.epoch;
-  ack->stream_gen = stream.gen;
-  ack->cumulative = stream.expected - 1;
-  raw_send_(m.from_site, std::move(ack));
 }
 
 void WanTransport::handle_ack(const WanAckMsg& m) {

@@ -16,13 +16,18 @@ void load_paths(zk::Client& loader, std::shared_ptr<std::vector<std::string>> pa
                 std::size_t payload, std::shared_ptr<bool> done) {
   auto body = std::vector<std::uint8_t>(payload, 0x61);
   auto step = std::make_shared<std::function<void(std::size_t)>>();
-  *step = [&loader, paths, body, step, done](std::size_t i) {
+  // The lambda must not capture `step` strongly — it lives inside *step, so a
+  // strong self-capture is a refcount cycle that outlives the experiment.
+  // Each in-flight create callback holds the strong reference instead.
+  std::weak_ptr<std::function<void(std::size_t)>> weak_step = step;
+  *step = [&loader, paths, body, weak_step, done](std::size_t i) {
     if (i >= paths->size()) {
       *done = true;
       return;
     }
+    auto self = weak_step.lock();
     loader.create((*paths)[i], body, false, false,
-                  [step, i](const zk::ClientResult&) { (*step)(i + 1); });
+                  [self, i](const zk::ClientResult&) { (*self)(i + 1); });
   };
   (*step)(0);
 }

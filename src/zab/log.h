@@ -6,13 +6,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/types.h"
 
 namespace wankeeper::zab {
 
 struct LogEntry {
   Zxid zxid = kNoZxid;
-  std::vector<std::uint8_t> payload;
+  // Shared immutable bytes: copying an entry (log append, SYNC, INFORM,
+  // per-follower fan-out) shares the payload instead of duplicating it.
+  common::Bytes payload;
 
   bool operator==(const LogEntry&) const = default;
 };

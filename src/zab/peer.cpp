@@ -1,6 +1,8 @@
 #include "zab/peer.h"
 
 #include <algorithm>
+#include <bit>
+#include <stdexcept>
 
 #include "common/logging.h"
 
@@ -17,6 +19,13 @@ Zxid sync_truncate_point(const TxnLog& leader_log, Zxid learner_last) {
   return kNoZxid;
 }
 }  // namespace
+
+std::uint64_t Peer::voter_bit(NodeId n) const {
+  for (std::size_t i = 0; i < voters_.size(); ++i) {
+    if (voters_[i] == n) return std::uint64_t{1} << i;
+  }
+  return 0;  // not a voter (cannot happen: only voters receive PROPOSE)
+}
 
 const char* role_name(Role r) {
   switch (r) {
@@ -36,6 +45,9 @@ void Peer::boot(sim::Network& net, std::vector<NodeId> voters,
                 std::int32_t priority) {
   net_ = &net;
   voters_ = std::move(voters);
+  if (voters_.size() > 64) {
+    throw std::invalid_argument("zab ensemble exceeds 64 voters");
+  }
   observers_ = std::move(observers);
   is_observer_ = is_observer;
   priority_ = priority;
@@ -126,7 +138,7 @@ void Peer::start_election() {
   if (is_observer_) {
     // Observers don't vote; probe the voters for an established leader.
     for (NodeId v : voters_) {
-      auto m = std::make_shared<ObserverInfoMsg>();
+      auto m = sim::make_mutable_message<ObserverInfoMsg>();
       m->last_zxid = last_logged();
       send(v, m);
     }
@@ -150,7 +162,7 @@ void Peer::looking_tick_helper() {
   }
   if (is_observer_) {
     for (NodeId v : voters_) {
-      auto m = std::make_shared<ObserverInfoMsg>();
+      auto m = sim::make_mutable_message<ObserverInfoMsg>();
       m->last_zxid = last_logged();
       send(v, m);
     }
@@ -164,7 +176,7 @@ void Peer::looking_tick_helper() {
 void Peer::broadcast_vote() {
   for (NodeId v : voters_) {
     if (v == id()) continue;
-    auto m = std::make_shared<VoteMsg>();
+    auto m = sim::make_mutable_message<VoteMsg>();
     m->round = round_;
     m->candidate = my_vote_.candidate;
     m->candidate_zxid = my_vote_.zxid;
@@ -176,7 +188,7 @@ void Peer::broadcast_vote() {
 void Peer::handle_vote(NodeId from, const VoteMsg& m) {
   if (is_observer_) return;
   if (role_ == Role::kFollowing && leader_ != kNoNode) {
-    auto reply = std::make_shared<CurrentLeaderMsg>();
+    auto reply = sim::make_mutable_message<CurrentLeaderMsg>();
     reply->leader = leader_;
     reply->epoch = current_epoch_;
     send(from, reply);
@@ -184,7 +196,7 @@ void Peer::handle_vote(NodeId from, const VoteMsg& m) {
   }
   if (role_ == Role::kLeading) {
     if (broadcasting_) {
-      auto reply = std::make_shared<CurrentLeaderMsg>();
+      auto reply = sim::make_mutable_message<CurrentLeaderMsg>();
       reply->leader = id();
       reply->epoch = current_epoch_;
       send(from, reply);
@@ -198,7 +210,7 @@ void Peer::handle_vote(NodeId from, const VoteMsg& m) {
     my_vote_ = Vote{id(), last_logged(), priority_};
     votes_[id()] = my_vote_;
   } else if (m.round < round_) {
-    auto reply = std::make_shared<VoteMsg>();
+    auto reply = sim::make_mutable_message<VoteMsg>();
     reply->round = round_;
     reply->candidate = my_vote_.candidate;
     reply->candidate_zxid = my_vote_.zxid;
@@ -234,7 +246,7 @@ void Peer::follow(NodeId leader) {
   leader_ = leader;
   awaiting_new_epoch_ = true;
   awaiting_since_ = now();
-  auto m = std::make_shared<FollowerInfoMsg>();
+  auto m = sim::make_mutable_message<FollowerInfoMsg>();
   m->accepted_epoch = accepted_epoch_;
   m->last_zxid = last_logged();
   send(leader, m);
@@ -244,7 +256,7 @@ void Peer::handle_current_leader(const CurrentLeaderMsg& m) {
   if (role_ != Role::kLooking || awaiting_new_epoch_) return;
   if (m.leader == kNoNode) return;
   if (is_observer_) {
-    auto info = std::make_shared<ObserverInfoMsg>();
+    auto info = sim::make_mutable_message<ObserverInfoMsg>();
     info->last_zxid = last_logged();
     leader_ = m.leader;
     send(m.leader, info);
@@ -290,7 +302,7 @@ void Peer::maybe_start_epoch() {
   epoch_acks_.insert(id());
   for (const auto& [node, zxid] : follower_infos_) {
     if (node == id()) continue;
-    auto m = std::make_shared<NewEpochMsg>();
+    auto m = sim::make_mutable_message<NewEpochMsg>();
     m->epoch = new_epoch_;
     send(node, m);
   }
@@ -301,7 +313,7 @@ void Peer::handle_follower_info(NodeId from, const FollowerInfoMsg& m) {
   if (role_ != Role::kLeading) return;
   if (broadcasting_) {
     // Late joiner on an established ensemble.
-    auto reply = std::make_shared<NewEpochMsg>();
+    auto reply = sim::make_mutable_message<NewEpochMsg>();
     reply->epoch = current_epoch_;
     send(from, reply);
     return;
@@ -310,7 +322,7 @@ void Peer::handle_follower_info(NodeId from, const FollowerInfoMsg& m) {
   max_accepted_epoch_seen_ = std::max(max_accepted_epoch_seen_, m.accepted_epoch);
   if (new_epoch_ != 0) {
     // Discovery already under way; bring the straggler along.
-    auto reply = std::make_shared<NewEpochMsg>();
+    auto reply = sim::make_mutable_message<NewEpochMsg>();
     reply->epoch = new_epoch_;
     send(from, reply);
     return;
@@ -330,7 +342,7 @@ void Peer::handle_new_epoch(NodeId from, const NewEpochMsg& m) {
     role_ = Role::kLooking;
     broadcasting_ = false;
   }
-  auto reply = std::make_shared<AckEpochMsg>();
+  auto reply = sim::make_mutable_message<AckEpochMsg>();
   reply->current_epoch = current_epoch_;
   reply->last_zxid = last_logged();
   send(from, reply);
@@ -372,13 +384,13 @@ void Peer::maybe_finish_discovery() {
 
 void Peer::sync_learner(NodeId learner, Zxid learner_last, bool observer) {
   const Zxid trunc = sync_truncate_point(log_, learner_last);
-  auto sync = std::make_shared<SyncMsg>();
+  auto sync = sim::make_mutable_message<SyncMsg>();
   sync->epoch = broadcasting_ ? current_epoch_ : new_epoch_;
   sync->truncate_to = trunc;
   sync->entries = log_.entries_after(trunc);
   sync->commit_up_to = broadcasting_ ? commit_frontier_ : delivered_;
   send(learner, sync);
-  auto nl = std::make_shared<NewLeaderMsg>();
+  auto nl = sim::make_mutable_message<NewLeaderMsg>();
   nl->epoch = sync->epoch;
   send(learner, nl);
   if (observer) {
@@ -388,10 +400,10 @@ void Peer::sync_learner(NodeId learner, Zxid learner_last, bool observer) {
   }
   last_contact_[learner] = now();
   if (broadcasting_) {
-    auto utd = std::make_shared<UpToDateMsg>();
+    auto utd = sim::make_mutable_message<UpToDateMsg>();
     utd->epoch = current_epoch_;
     send(learner, utd);
-    auto commit = std::make_shared<CommitMsg>();
+    auto commit = sim::make_mutable_message<CommitMsg>();
     commit->epoch = current_epoch_;
     commit->zxid = commit_frontier_;
     send(learner, commit);
@@ -421,7 +433,7 @@ void Peer::handle_sync(NodeId from, const SyncMsg& m) {
   // without this, entries a late joiner received via sync rather than
   // PROPOSE could never gather an ack quorum.
   if (!is_observer_ && !m.entries.empty()) {
-    auto ack = std::make_shared<AckMsg>();
+    auto ack = sim::make_mutable_message<AckMsg>();
     ack->epoch = m.epoch;
     ack->zxid = log_.last_zxid();
     send(from, ack);
@@ -433,7 +445,7 @@ void Peer::handle_new_leader(NodeId from, const NewLeaderMsg& m) {
   current_epoch_ = m.epoch;
   awaiting_new_epoch_ = false;
   role_ = is_observer_ ? Role::kObserving : Role::kFollowing;
-  auto ack = std::make_shared<AckNewLeaderMsg>();
+  auto ack = sim::make_mutable_message<AckNewLeaderMsg>();
   ack->epoch = m.epoch;
   send(from, ack);
   last_leader_contact_ = now();
@@ -462,10 +474,10 @@ void Peer::establish_leadership() {
                             obs::EventKind::kLeaderElected, name(), "",
                             /*key=*/"", /*a=*/current_epoch_);
   for (NodeId f : synced_followers_) {
-    auto utd = std::make_shared<UpToDateMsg>();
+    auto utd = sim::make_mutable_message<UpToDateMsg>();
     utd->epoch = current_epoch_;
     send(f, utd);
-    auto commit = std::make_shared<CommitMsg>();
+    auto commit = sim::make_mutable_message<CommitMsg>();
     commit->epoch = current_epoch_;
     commit->zxid = commit_frontier_;
     send(f, commit);
@@ -482,9 +494,10 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
   const Zxid zxid = make_zxid(current_epoch_, counter_);
   LogEntry entry{zxid, std::move(payload)};
   log_.append(entry);
-  proposal_acks_[zxid].insert(id());
-  sim().obs().metrics.counter("zab.proposals", net_->site_of(id())).inc();
-  proposed_at_[zxid] = now();
+  proposal_acks_.push_back(PendingProposal{zxid, voter_bit(id())});
+  proposals_ctr_.at(sim().obs().metrics, "zab.proposals", net_->site_of(id()))
+      .inc();
+  proposed_at_.emplace_back(zxid, now());
   pending_batch_.push_back(std::move(entry));
   // Natural batching: ship at once when the pipe is idle (a lone request
   // pays zero extra latency); while a round is in flight, accumulate.
@@ -502,9 +515,10 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
 // Broadcast every pending entry as one multi-entry PROPOSE.
 void Peer::flush_batch() {
   if (pending_batch_.empty() || !leading()) return;
-  sim().obs().metrics.histogram("zab.batch_size", net_->site_of(id()))
+  batch_size_hist_
+      .at(sim().obs().metrics, "zab.batch_size", net_->site_of(id()))
       .record(static_cast<Time>(pending_batch_.size()));
-  auto m = std::make_shared<ProposeMsg>();
+  auto m = sim::make_mutable_message<ProposeMsg>();
   m->epoch = current_epoch_;
   m->entries = std::move(pending_batch_);
   pending_batch_.clear();
@@ -554,12 +568,12 @@ void Peer::request_resync() {
   last_resync_request_ = now();
   WK_DEBUG(now(), name(), "log gap detected; requesting re-sync");
   if (is_observer_) {
-    auto m = std::make_shared<ObserverInfoMsg>();
+    auto m = sim::make_mutable_message<ObserverInfoMsg>();
     m->last_zxid = last_logged();
     send(leader_, m);
     expect_sync();
   } else {
-    auto m = std::make_shared<FollowerInfoMsg>();
+    auto m = sim::make_mutable_message<FollowerInfoMsg>();
     m->accepted_epoch = accepted_epoch_;
     m->last_zxid = last_logged();
     send(leader_, m);
@@ -581,7 +595,7 @@ void Peer::handle_propose(NodeId from, const ProposeMsg& m) {
     }
     log_.append(entry);
   }
-  auto ack = std::make_shared<AckMsg>();
+  auto ack = sim::make_mutable_message<AckMsg>();
   ack->epoch = m.epoch;
   // Cumulative over what we actually hold, capped at this batch's tail
   // (acking beyond it would claim entries from a later lost PROPOSE).
@@ -592,9 +606,12 @@ void Peer::handle_propose(NodeId from, const ProposeMsg& m) {
 void Peer::handle_ack(NodeId from, const AckMsg& m) {
   if (role_ != Role::kLeading || m.epoch != current_epoch_) return;
   note_contact(from);
-  // Acks are cumulative: an ack for z covers every outstanding z' <= z.
-  for (auto& [zxid, acks] : proposal_acks_) {
-    if (zxid <= m.zxid) acks.insert(from);
+  // Acks are cumulative: an ack for z covers every outstanding z' <= z
+  // (the deque is in zxid order, so stop at the first entry past z).
+  const std::uint64_t bit = voter_bit(from);
+  for (PendingProposal& p : proposal_acks_) {
+    if (p.zxid > m.zxid) break;
+    p.acks |= bit;
   }
   maybe_commit();
 }
@@ -603,15 +620,16 @@ void Peer::maybe_commit() {
   bool committed_any = false;
   const Zxid old_frontier = commit_frontier_;
   while (!proposal_acks_.empty() &&
-         proposal_acks_.begin()->second.size() >= quorum()) {
-    commit_frontier_ = std::max(commit_frontier_, proposal_acks_.begin()->first);
-    proposal_acks_.erase(proposal_acks_.begin());
+         static_cast<std::size_t>(std::popcount(proposal_acks_.front().acks)) >=
+             quorum()) {
+    commit_frontier_ = std::max(commit_frontier_, proposal_acks_.front().zxid);
+    proposal_acks_.pop_front();
     committed_any = true;
   }
   if (!committed_any) return;
   deliver_committed();
   for (NodeId f : synced_followers_) {
-    auto commit = std::make_shared<CommitMsg>();
+    auto commit = sim::make_mutable_message<CommitMsg>();
     commit->epoch = current_epoch_;
     commit->zxid = commit_frontier_;
     send(f, commit);
@@ -621,7 +639,7 @@ void Peer::maybe_commit() {
     const LogEntry& entry = log_.at(i);
     if (entry.zxid > commit_frontier_) break;
     for (NodeId o : synced_observers_) {
-      auto inform = std::make_shared<InformMsg>();
+      auto inform = sim::make_mutable_message<InformMsg>();
       inform->epoch = current_epoch_;
       inform->entry = entry;
       send(o, inform);
@@ -661,7 +679,7 @@ void Peer::handle_observer_info(NodeId from, const ObserverInfoMsg& m) {
   if (role_ == Role::kLeading && broadcasting_) {
     sync_learner(from, m.last_zxid, /*observer=*/true);
   } else if (role_ == Role::kFollowing && leader_ != kNoNode) {
-    auto reply = std::make_shared<CurrentLeaderMsg>();
+    auto reply = sim::make_mutable_message<CurrentLeaderMsg>();
     reply->leader = leader_;
     reply->epoch = current_epoch_;
     send(from, reply);
@@ -676,7 +694,7 @@ void Peer::handle_ping(NodeId from, const PingMsg& m) {
   advance_commit_frontier(m.commit_up_to);
   deliver_committed();
   if (commit_frontier_ > log_.last_zxid()) request_resync();
-  auto reply = std::make_shared<PingReplyMsg>();
+  auto reply = sim::make_mutable_message<PingReplyMsg>();
   reply->epoch = m.epoch;
   send(from, reply);
 }
@@ -688,13 +706,13 @@ void Peer::arm_leader_timer() {
 void Peer::leader_tick() {
   if (role_ != Role::kLeading || !broadcasting_) return;
   for (NodeId f : synced_followers_) {
-    auto ping = std::make_shared<PingMsg>();
+    auto ping = sim::make_mutable_message<PingMsg>();
     ping->epoch = current_epoch_;
     ping->commit_up_to = commit_frontier_;
     send(f, ping);
   }
   for (NodeId o : synced_observers_) {
-    auto ping = std::make_shared<PingMsg>();
+    auto ping = sim::make_mutable_message<PingMsg>();
     ping->epoch = current_epoch_;
     ping->commit_up_to = commit_frontier_;
     send(o, ping);
@@ -752,33 +770,39 @@ void Peer::deliver_committed() {
     const LogEntry& entry = log_.at(i);
     if (entry.zxid > commit_frontier_) break;
     delivered_ = entry.zxid;
-    if (const auto it = proposed_at_.find(entry.zxid); it != proposed_at_.end()) {
-      sim().obs().metrics
-          .histogram("zab.commit_latency_us", net_->site_of(id()))
-          .record(now() - it->second);
-      proposed_at_.erase(it);
+    while (!proposed_at_.empty() && proposed_at_.front().first < entry.zxid) {
+      proposed_at_.pop_front();  // entry adopted from sync, never timed here
+    }
+    if (!proposed_at_.empty() && proposed_at_.front().first == entry.zxid) {
+      commit_latency_hist_
+          .at(sim().obs().metrics, "zab.commit_latency_us",
+              net_->site_of(id()))
+          .record(now() - proposed_at_.front().second);
+      proposed_at_.pop_front();
     }
     sm_.on_commit(entry);
   }
 }
 
 void Peer::on_message(NodeId from, const sim::MessagePtr& msg) {
-  if (auto* m = dynamic_cast<const VoteMsg*>(msg.get())) return handle_vote(from, *m);
-  if (auto* m = dynamic_cast<const CurrentLeaderMsg*>(msg.get())) return handle_current_leader(*m);
-  if (auto* m = dynamic_cast<const FollowerInfoMsg*>(msg.get())) return handle_follower_info(from, *m);
-  if (auto* m = dynamic_cast<const NewEpochMsg*>(msg.get())) return handle_new_epoch(from, *m);
-  if (auto* m = dynamic_cast<const AckEpochMsg*>(msg.get())) return handle_ack_epoch(from, *m);
-  if (auto* m = dynamic_cast<const SyncMsg*>(msg.get())) return handle_sync(from, *m);
-  if (auto* m = dynamic_cast<const NewLeaderMsg*>(msg.get())) return handle_new_leader(from, *m);
-  if (auto* m = dynamic_cast<const AckNewLeaderMsg*>(msg.get())) return handle_ack_new_leader(from, *m);
-  if (auto* m = dynamic_cast<const UpToDateMsg*>(msg.get())) return handle_up_to_date(from, *m);
-  if (auto* m = dynamic_cast<const ObserverInfoMsg*>(msg.get())) return handle_observer_info(from, *m);
-  if (auto* m = dynamic_cast<const ProposeMsg*>(msg.get())) return handle_propose(from, *m);
-  if (auto* m = dynamic_cast<const AckMsg*>(msg.get())) return handle_ack(from, *m);
-  if (auto* m = dynamic_cast<const CommitMsg*>(msg.get())) return handle_commit(from, *m);
-  if (auto* m = dynamic_cast<const InformMsg*>(msg.get())) return handle_inform(from, *m);
-  if (auto* m = dynamic_cast<const PingMsg*>(msg.get())) return handle_ping(from, *m);
-  if (dynamic_cast<const PingReplyMsg*>(msg.get()) != nullptr) return note_contact(from);
+  // Steady-state traffic first (broadcast/ack/commit/ping dwarf election and
+  // sync messages); the casts are mutually exclusive so order is free.
+  if (auto* m = sim::msg_cast<ProposeMsg>(msg.get())) return handle_propose(from, *m);
+  if (auto* m = sim::msg_cast<AckMsg>(msg.get())) return handle_ack(from, *m);
+  if (auto* m = sim::msg_cast<CommitMsg>(msg.get())) return handle_commit(from, *m);
+  if (auto* m = sim::msg_cast<InformMsg>(msg.get())) return handle_inform(from, *m);
+  if (auto* m = sim::msg_cast<PingMsg>(msg.get())) return handle_ping(from, *m);
+  if (sim::msg_cast<PingReplyMsg>(msg.get()) != nullptr) return note_contact(from);
+  if (auto* m = sim::msg_cast<VoteMsg>(msg.get())) return handle_vote(from, *m);
+  if (auto* m = sim::msg_cast<CurrentLeaderMsg>(msg.get())) return handle_current_leader(*m);
+  if (auto* m = sim::msg_cast<FollowerInfoMsg>(msg.get())) return handle_follower_info(from, *m);
+  if (auto* m = sim::msg_cast<NewEpochMsg>(msg.get())) return handle_new_epoch(from, *m);
+  if (auto* m = sim::msg_cast<AckEpochMsg>(msg.get())) return handle_ack_epoch(from, *m);
+  if (auto* m = sim::msg_cast<SyncMsg>(msg.get())) return handle_sync(from, *m);
+  if (auto* m = sim::msg_cast<NewLeaderMsg>(msg.get())) return handle_new_leader(from, *m);
+  if (auto* m = sim::msg_cast<AckNewLeaderMsg>(msg.get())) return handle_ack_new_leader(from, *m);
+  if (auto* m = sim::msg_cast<UpToDateMsg>(msg.get())) return handle_up_to_date(from, *m);
+  if (auto* m = sim::msg_cast<ObserverInfoMsg>(msg.get())) return handle_observer_info(from, *m);
 }
 
 }  // namespace wankeeper::zab

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -206,8 +207,25 @@ class Peer : public sim::Actor {
   std::set<NodeId> synced_followers_;
   std::set<NodeId> synced_observers_;
   std::uint32_t counter_ = 0;
-  std::map<Zxid, std::set<NodeId>> proposal_acks_;
-  std::map<Zxid, Time> proposed_at_;  // leader: propose->deliver latency
+  // Outstanding proposals awaiting quorum, in zxid order (proposals are
+  // minted monotonically and the deque is cleared on epoch change, so
+  // push_back keeps it sorted). Ack membership is a bitmask over voters_
+  // indices — only voters ever ACK — which makes the cumulative-ack sweep
+  // in handle_ack an OR per entry instead of a set insert. boot() rejects
+  // ensembles with more than 64 voters to keep the mask exact.
+  struct PendingProposal {
+    Zxid zxid;
+    std::uint64_t acks = 0;
+  };
+  std::uint64_t voter_bit(NodeId n) const;
+  std::deque<PendingProposal> proposal_acks_;
+  // Leader: propose->deliver latency, consumed by deliver_committed in the
+  // same zxid order it was recorded in, so a deque front-scan replaces the
+  // map lookup.
+  std::deque<std::pair<Zxid, Time>> proposed_at_;
+  obs::CachedCounter proposals_ctr_;
+  obs::CachedHistogram batch_size_hist_;
+  obs::CachedHistogram commit_latency_hist_;
   // Group commit: logged-but-not-yet-broadcast entries and the highest zxid
   // already sent to followers (a round is in flight while it exceeds the
   // commit frontier).

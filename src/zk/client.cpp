@@ -137,7 +137,7 @@ void Client::close(Callback cb) {
 
 void Client::on_message(NodeId from, const sim::MessagePtr& msg) {
   (void)from;
-  if (const auto* m = dynamic_cast<const ClientReply*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<ClientReply>(msg.get())) {
     if (const auto tit = pending_trace_.find(m->xid); tit != pending_trace_.end()) {
       sim().obs().tracer.end(tit->second, now());
       pending_trace_.erase(tit);
@@ -157,7 +157,7 @@ void Client::on_message(NodeId from, const sim::MessagePtr& msg) {
     if (cb) cb(result);
     return;
   }
-  if (const auto* m = dynamic_cast<const WatchNotifyMsg*>(msg.get())) {
+  if (const auto* m = sim::msg_cast<WatchNotifyMsg>(msg.get())) {
     if (watch_handler_) watch_handler_(m->path, m->event);
     return;
   }

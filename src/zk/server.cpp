@@ -26,6 +26,9 @@ const char* op_name(OpCode op) {
 
 std::vector<std::uint8_t> Envelope::encode() const {
   BufferWriter w;
+  // Rough upper bound on the common single-op layout (fixed header plus
+  // path and data); multi/grant txns just fall back to vector growth.
+  w.reserve(96 + txn.path.size() + txn.data.size());
   w.i64(session);
   w.i64(xid);
   w.u64(trace);
@@ -33,14 +36,23 @@ std::vector<std::uint8_t> Envelope::encode() const {
   return w.take();
 }
 
-Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
-  BufferReader r(bytes);
+namespace {
+Envelope decode_reader(BufferReader r) {
   Envelope e;
   e.session = r.i64();
   e.xid = r.i64();
   e.trace = r.u64();
   e.txn = store::Txn::deserialize(r);
   return e;
+}
+}  // namespace
+
+Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
+  return decode_reader(BufferReader(bytes));
+}
+
+Envelope Envelope::decode(const common::Bytes& bytes) {
+  return decode_reader(BufferReader(bytes.data(), bytes.size()));
 }
 
 Server::Server(sim::Simulator& sim, std::string name, ServerOptions opts)
@@ -133,19 +145,19 @@ void Server::fail_in_flight_writes(store::Rc rc) {
 // ------------------------------------------------------------ messaging
 
 void Server::on_message(NodeId from, const sim::MessagePtr& msg) {
-  if (auto* m = dynamic_cast<const ClientRequest*>(msg.get())) {
+  if (auto* m = sim::msg_cast<ClientRequest>(msg.get())) {
     handle_client_request(from, *m);
     return;
   }
-  if (auto* m = dynamic_cast<const ForwardRequestMsg*>(msg.get())) {
+  if (auto* m = sim::msg_cast<ForwardRequestMsg>(msg.get())) {
     handle_forward(from, *m);
     return;
   }
-  if (auto* m = dynamic_cast<const RequestErrorMsg*>(msg.get())) {
+  if (auto* m = sim::msg_cast<RequestErrorMsg>(msg.get())) {
     handle_request_error(*m);
     return;
   }
-  if (auto* m = dynamic_cast<const SessionTouchMsg*>(msg.get())) {
+  if (auto* m = sim::msg_cast<SessionTouchMsg>(msg.get())) {
     handle_session_touch(*m);
     return;
   }
@@ -182,18 +194,20 @@ void Server::handle_client_request(NodeId from, const ClientRequest& req) {
 void Server::pump_session(SessionId session) {
   auto* ls = local_sessions_.find(session);
   if (ls == nullptr || ls->in_flight || ls->queue.empty()) return;
-  const ClientRequest req = ls->queue.front();
+  ClientRequest req = std::move(ls->queue.front());
   ls->queue.pop_front();
   ls->in_flight = true;
   ls->in_flight_xid = req.xid;
   ls->in_flight_is_write = is_write_op(req.op.op);
   ls->in_flight_op = req.op.op;
   ls->in_flight_since = now();
+  const Xid xid = req.xid;
   const Time delay = reserve_cpu(opts_.service_time + opts_.head_overhead);
-  set_timer(delay, [this, session, req]() { execute_request(session, req); });
+  set_timer(delay, [this, session, req = std::move(req)]() {
+    execute_request(session, req);
+  });
   // Watchdog: if the request is still in flight after the timeout (lost
   // forward, partition, dead leader), fail it so the client can retry.
-  const Xid xid = req.xid;
   set_timer(opts_.request_timeout,
             [this, session, xid]() { watch_in_flight_timeout(session, xid); });
 }
@@ -287,7 +301,7 @@ void Server::route_write(const ClientRequest& req, NodeId origin_server) {
 
 void Server::forward_to(NodeId server, const ClientRequest& req, NodeId origin_server) {
   ++stats_.forwards;
-  auto m = std::make_shared<ForwardRequestMsg>();
+  auto m = sim::make_mutable_message<ForwardRequestMsg>();
   m->origin_server = origin_server;
   m->request = req;
   net_->send(id(), server, std::move(m));
@@ -357,7 +371,7 @@ void Server::send_request_error(NodeId origin_server, SessionId session, Xid xid
     handle_request_error(m);
     return;
   }
-  auto m = std::make_shared<RequestErrorMsg>();
+  auto m = sim::make_mutable_message<RequestErrorMsg>();
   m->session = session;
   m->xid = xid;
   m->rc = rc;
@@ -546,7 +560,7 @@ void Server::apply_committed(const Envelope& env) {
   // the burst size histogram makes batching visible at the apply path.
   if (now() != last_apply_at_) {
     if (apply_burst_ > 0) {
-      sim().obs().metrics.histogram("zk.apply_burst", site())
+      apply_burst_hist_.at(sim().obs().metrics, "zk.apply_burst", site())
           .record(static_cast<Time>(apply_burst_));
     }
     apply_burst_ = 0;
@@ -584,7 +598,7 @@ void Server::apply_committed(const Envelope& env) {
     const auto* ls = local_sessions_.find(fire.session);
     if (ls == nullptr || ls->client == kNoNode) continue;
     ++stats_.watch_notifications;
-    auto m = std::make_shared<WatchNotifyMsg>();
+    auto m = sim::make_mutable_message<WatchNotifyMsg>();
     m->session = fire.session;
     m->path = fire.path;
     m->event = fire.event;
@@ -678,7 +692,7 @@ void Server::touch_relay_tick() {
       if (pinged_sessions_.count(s) != 0) live.push_back(s);
     }
     if (!live.empty()) {
-      auto m = std::make_shared<SessionTouchMsg>();
+      auto m = sim::make_mutable_message<SessionTouchMsg>();
       m->sessions = std::move(live);
       net_->send(id(), leader_server_, std::move(m));
     }

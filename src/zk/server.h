@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/types.h"
 #include "sim/actor.h"
 #include "sim/network.h"
@@ -41,6 +42,7 @@ struct Envelope {
 
   std::vector<std::uint8_t> encode() const;
   static Envelope decode(const std::vector<std::uint8_t>& bytes);
+  static Envelope decode(const common::Bytes& bytes);
 };
 
 struct ServerOptions {
@@ -204,6 +206,7 @@ class Server : public sim::Actor, public zab::StateMachine {
   Time busy_until_ = 0;
   Time last_apply_at_ = -1;      // commit-burst tracking (zk.apply_burst)
   std::uint64_t apply_burst_ = 0;
+  obs::CachedHistogram apply_burst_hist_;
   ServerStats stats_;
 };
 

@@ -320,7 +320,7 @@ TEST(ObsIntegration, ContendedRemoteWriteSpanSequence) {
 
   const auto& tracer = f.sim.obs().tracer;
   const obs::TraceRecord* trace = nullptr;
-  for (const auto& [id, rec] : tracer.traces()) {
+  for (const obs::TraceRecord& rec : tracer.traces()) {
     if (rec.what == "setData /hot" && rec.origin_site == kFRA) trace = &rec;
   }
   ASSERT_NE(trace, nullptr) << "contended write left no trace";

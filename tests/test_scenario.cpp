@@ -115,7 +115,9 @@ TEST(Scenario, LibraryNamesResolveAndUnknownThrows) {
     const sim::Scenario sc = sim::make_scenario(name);
     EXPECT_EQ(sc.name(), name);
     EXPECT_GE(sc.sites(), 3u);
-    if (sc.event_count() > 0) EXPECT_GT(sc.horizon(), 0);
+    if (sc.event_count() > 0) {
+      EXPECT_GT(sc.horizon(), 0);
+    }
     EXPECT_NE(sc.to_script().find(name), std::string::npos);
   }
   EXPECT_THROW(sim::make_scenario("no-such-scenario"), std::invalid_argument);

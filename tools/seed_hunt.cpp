@@ -1,44 +1,34 @@
 // CI seed hunter: run the canonical crash sweep or a named hostile-WAN
 // scenario sweep (src/wankeeper/sweep_harness.h) over a seed range in both
 // batching modes and dump a flight-recorder artifact for every failure. The
-// nightly workflow walks a rolling ~1000-seed window of the crash sweep plus
+// nightly workflow walks a rolling seed window of the crash sweep plus
 // scenario shards with this tool; a developer reproduces a red run locally
 // with the exact seed and scenario it prints (see EXPERIMENTS.md).
 //
 //   seed_hunt --start 1 --count 100 [--batching 0|1|both]
 //             [--scenario crash|calm3|flap3|asym3|hostile5|diurnal5|...]
-//             [--out DIR] [--events]
+//             [--out DIR] [--events] [--parallel N]
 //
 // --events additionally writes the flight-recorder artifacts (merged event
 // log, Perfetto trace, ownership analytics) for *passing* cells too; failed
 // cells always get them.
 //
+// --parallel N forks N worker processes over contiguous seed slices (0 =
+// one per core). FAIL lines, artifacts, and <out>/report.txt are identical
+// to a serial run of the same range — tests/test_determinism.cpp pins that.
+//
 // Exit status: 0 when every (seed, mode) cell passed, 1 otherwise.
-#include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <string>
-#include <vector>
 
-#include "obs/perfetto.h"
-#include "wankeeper/sweep_harness.h"
+#include "wankeeper/hunt_driver.h"
 
 namespace {
 
 using namespace wankeeper;
 
-struct Options {
-  std::uint64_t start = 1;
-  std::uint64_t count = 50;
-  int batching = 2;  // 0, 1, or 2 = both
-  std::string scenario = "crash";
-  std::string out_dir = ".";
-  bool events = false;  // dump flight-recorder artifacts for passing cells too
-};
-
-bool parse(int argc, char** argv, Options* opt) {
+bool parse(int argc, char** argv, wk::hunt::HuntOptions* opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -64,6 +54,10 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->out_dir = v;
     } else if (arg == "--events") {
       opt->events = true;
+    } else if (arg == "--parallel") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->parallel = std::stoi(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -85,164 +79,16 @@ bool parse(int argc, char** argv, Options* opt) {
   return true;
 }
 
-std::string cell_stem(std::uint64_t seed, bool batching,
-                      const std::string& out_dir) {
-  return out_dir + "/seed" + std::to_string(seed) +
-         (batching ? "_batched" : "_unbatched");
-}
-
-// The flight-recorder artifacts: the merged post-mortem event log, the
-// Perfetto trace (spans + events, loadable in ui.perfetto.dev), and the
-// token-ownership analytics distilled from the event stream. Returns the
-// event-log path so the failure summary line can point straight at it.
-std::string dump_events(wk::LoadedDeployment& d, const wk::SweepResult& r,
-                        const std::string& stem) {
-  const std::string events_path = stem + ".events.json";
-  {
-    std::ofstream f(events_path);
-    f << (r.post_mortem_json.empty() ? d.sim.obs().events.to_json()
-                                     : r.post_mortem_json);
-  }
-  {
-    std::ofstream f(stem + ".trace.json");
-    f << obs::perfetto_trace_json(d.sim.obs().tracer, d.sim.obs().events);
-  }
-  {
-    std::ofstream f(stem + ".ownership.json");
-    f << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
-             .to_json();
-  }
-  return events_path;
-}
-
-// On failure, dump the full metrics registry plus the slowest traces, the
-// scenario script that was running, and the consistency checker's violation
-// witness (the minimal op subsequence) so the CI artifact carries everything
-// needed to start debugging without a rerun.
-void dump_artifacts(wk::LoadedDeployment& d, const wk::SweepResult& r,
-                    std::uint64_t seed, bool batching,
-                    const std::string& scenario_script,
-                    const std::string& out_dir) {
-  // ofstream fails silently on a missing directory — a CI failure losing
-  // its only witness is the worst possible outcome, so create it here.
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
-  const std::string stem = cell_stem(seed, batching, out_dir);
-  {
-    std::ofstream f(stem + ".metrics.json");
-    f << d.sim.obs().metrics.to_json() << "\n";
-  }
-  {
-    std::ofstream f(stem + ".report.txt");
-    f << "seed: " << seed << "\n"
-      << "batching: " << (batching ? "on" : "off") << "\n"
-      << "audit_clean: " << r.audit_clean << "\n"
-      << "first_violation: " << r.first_violation << "\n"
-      << "converged: " << r.converged << "\n"
-      << "completed_total: " << r.completed_total << "\n"
-      << "consistency_clean: " << r.consistency_clean << " ("
-      << r.consistency_violations << " violation(s))\n"
-      << "duplicate_mints: " << r.duplicate_mints << "\n"
-      << "dueling_hubs: " << r.dueling_hubs << "\n";
-    for (const std::string& reason : r.dump_reasons) {
-      f << "dump_reason: " << reason << "\n";
-    }
-    if (!r.fork_evidence.empty()) {
-      f << "\nsplit-brain fork evidence:\n" << r.fork_evidence;
-    }
-    if (!r.first_consistency_witness.empty()) {
-      f << "\nconsistency witness (minimal op subsequence):\n"
-        << r.first_consistency_witness;
-    }
-    if (!scenario_script.empty()) {
-      f << "\nscenario script:\n" << scenario_script;
-    }
-    f << "\n"
-      << obs::OwnershipAnalytics::from_events(d.sim.obs().events.merged())
-             .table(5, d.sim.now());
-    f << "\n" << d.sim.obs().tracer.breakdown_table() << "\n";
-    for (const auto* t : d.sim.obs().tracer.slowest(20)) {
-      f << d.sim.obs().tracer.format_trace(t->id) << "\n";
-    }
-  }
-  std::printf("artifacts: %s.{metrics.json,report.txt}\n", stem.c_str());
-}
-
-bool run_cell(std::uint64_t seed, bool batching, const std::string& scenario,
-              const std::string& out_dir, bool events_always) {
-  wk::DeploymentConfig cfg;
-  if (batching) cfg.enable_batching();
-  std::unique_ptr<wk::LoadedDeployment> d;
-  wk::SweepResult r;
-  std::string script;
-  if (scenario == "crash") {
-    d = std::make_unique<wk::LoadedDeployment>(seed, cfg);
-    r = wk::run_crash_sweep_on(*d, seed);
-  } else {
-    sim::Scenario sc = sim::make_scenario(scenario);
-    cfg.sites = sc.sites();
-    d = std::make_unique<wk::LoadedDeployment>(seed, cfg,
-                                               sim::scenario_latency(sc));
-    r = wk::run_scenario_sweep_on(*d, sc);
-    script = sc.to_script();
-  }
-  if (r.ok()) {
-    if (events_always) {
-      std::error_code ec;
-      std::filesystem::create_directories(out_dir, ec);
-      dump_events(*d, r, cell_stem(seed, batching, out_dir));
-    }
-    return true;
-  }
-  dump_artifacts(*d, r, seed, batching, script, out_dir);
-  const std::string events_path =
-      dump_events(*d, r, cell_stem(seed, batching, out_dir));
-  std::printf("FAIL seed %llu batching %d scenario %s: audit_clean=%d "
-              "converged=%d consistency=%d dup_mints=%zu duel=%d "
-              "completed=%llu%s%s events=%s\n",
-              static_cast<unsigned long long>(seed), int(batching),
-              scenario.c_str(), int(r.audit_clean), int(r.converged),
-              int(r.consistency_clean), r.duplicate_mints, int(r.dueling_hubs),
-              static_cast<unsigned long long>(r.completed_total),
-              r.first_violation.empty() ? "" : " violation=",
-              r.first_violation.c_str(), events_path.c_str());
-  return false;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
+  wk::hunt::HuntOptions opt;
   if (!parse(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: seed_hunt [--start N] [--count M] "
                  "[--batching 0|1|both] [--scenario NAME] [--out DIR] "
-                 "[--events]\n");
+                 "[--events] [--parallel N]\n");
     return 2;
   }
-
-  std::vector<bool> modes;
-  if (opt.batching == 0 || opt.batching == 2) modes.push_back(false);
-  if (opt.batching == 1 || opt.batching == 2) modes.push_back(true);
-
-  std::uint64_t failures = 0, cells = 0;
-  for (std::uint64_t s = opt.start; s < opt.start + opt.count; ++s) {
-    for (const bool batching : modes) {
-      ++cells;
-      if (!run_cell(s, batching, opt.scenario, opt.out_dir, opt.events)) {
-        ++failures;
-      }
-    }
-    if ((s - opt.start + 1) % 10 == 0) {
-      std::printf("progress: %llu/%llu seeds, %llu failure(s)\n",
-                  static_cast<unsigned long long>(s - opt.start + 1),
-                  static_cast<unsigned long long>(opt.count),
-                  static_cast<unsigned long long>(failures));
-      std::fflush(stdout);
-    }
-  }
-  std::printf("seed_hunt done: scenario %s, %llu cell(s), %llu failure(s)\n",
-              opt.scenario.c_str(), static_cast<unsigned long long>(cells),
-              static_cast<unsigned long long>(failures));
-  return failures == 0 ? 0 : 1;
+  return wk::hunt::run_hunt(opt).ok() ? 0 : 1;
 }
