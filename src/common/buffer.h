@@ -19,6 +19,18 @@
 
 namespace wankeeper {
 
+// Raw little-endian accessors for fixed-offset headers written outside a
+// BufferWriter — the socket frame header in rt/thread_runtime.cpp reads and
+// writes these directly on the wire buffer. Same byte order as u32() below.
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
 class BufferWriter {
  public:
   // Pre-size for a known payload; saves the doubling reallocs on the

@@ -133,4 +133,16 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    counters_[key].inc(c.value());
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    gauges_[key].add(g.value());
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    histograms_[key].merge(h);
+  }
+}
+
 }  // namespace wankeeper::obs

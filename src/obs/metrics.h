@@ -46,6 +46,7 @@ class Histogram {
   void record(Time v) { recorder_.record(v); }
   std::size_t count() const { return recorder_.count(); }
   const LatencyRecorder& recorder() const { return recorder_; }
+  void merge(const Histogram& other) { recorder_.merge(other.recorder_); }
 
  private:
   LatencyRecorder recorder_;
@@ -89,6 +90,13 @@ class MetricsRegistry {
   std::string to_table() const;
 
   void clear();
+
+  // Fold another registry into this one: counters sum, gauges add,
+  // histogram samples merge. The thread runtime keeps one registry per
+  // event-loop thread (the registry is not thread-safe); this is how a
+  // deployment-wide view is assembled from them (rt::ThreadRuntime::
+  // collect_metrics). Under the single-threaded DES it is never needed.
+  void merge_from(const MetricsRegistry& other);
 
   // Incremented by clear(); cached metric handles from an older epoch are
   // dangling and must be re-resolved.

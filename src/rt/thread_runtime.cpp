@@ -1,0 +1,531 @@
+#include "rt/thread_runtime.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "obs/context.h"
+#include "rt/codec.h"
+#include "sim/faults.h"
+
+namespace wankeeper::rt {
+namespace {
+
+// TimerId layout: (loop index + 1) in the high bits, per-loop sequence
+// below. +1 keeps 0 invalid.
+constexpr int kTimerLoopShift = 40;
+
+// Past this many queued frames on one outbound link the peer process is
+// effectively gone; drop new frames (counted) the way a dead link would.
+constexpr std::size_t kMaxOutboundFrames = 1 << 16;
+
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+bool write_full(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_full(int fd, std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> make_frame(NodeId from, NodeId to,
+                                     const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame(12 + payload.size());
+  store_le32(frame.data(), static_cast<std::uint32_t>(8 + payload.size()));
+  store_le32(frame.data() + 4, static_cast<std::uint32_t>(from));
+  store_le32(frame.data() + 8, static_cast<std::uint32_t>(to));
+  std::memcpy(frame.data() + 12, payload.data(), payload.size());
+  return frame;
+}
+
+// Sequential per-thread seeds: determinism of draws within a thread, not
+// across interleavings (which are real on this runtime anyway).
+std::atomic<std::uint64_t> thread_counter{0};
+
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(std::uint64_t seed)
+    : seed_(seed), start_tp_(std::chrono::steady_clock::now()) {}
+
+ThreadRuntime::~ThreadRuntime() { stop(); }
+
+Time ThreadRuntime::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_tp_)
+      .count();
+}
+
+std::size_t ThreadRuntime::add_loop() {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  if (started_) throw std::logic_error("add_loop after start");
+  loops_.push_back(std::make_unique<Loop>());
+  return loops_.size() - 1;
+}
+
+void ThreadRuntime::add_actor(sim::Actor& actor, NodeId id, SiteId site,
+                              std::size_t loop) {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  if (started_) throw std::logic_error("add_actor after start");
+  if (loop >= loops_.size()) throw std::out_of_range("bad loop index");
+  if (local_.count(id) != 0 || remote_site_.count(id) != 0) {
+    throw std::logic_error("duplicate node id");
+  }
+  actor.id_ = id;
+  actor.registry_ = this;
+  local_[id] = LocalNode{&actor, loops_[loop].get(), loop, site};
+  loops_[loop]->actors.push_back(&actor);
+}
+
+void ThreadRuntime::add_remote(NodeId id, SiteId site) {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  if (local_.count(id) != 0) throw std::logic_error("node is local");
+  remote_site_[id] = site;
+}
+
+void ThreadRuntime::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind(127.0.0.1:" + std::to_string(port) +
+                             ") failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("listen() failed");
+  }
+  std::lock_guard<std::mutex> lk(route_mu_);
+  if (started_) throw std::logic_error("listen after start");
+  listen_fds_.push_back(fd);
+}
+
+void ThreadRuntime::connect_site(SiteId site, std::uint16_t port) {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  if (started_) throw std::logic_error("connect_site after start");
+  auto conn = std::make_unique<Conn>();
+  conn->port = port;
+  conns_[site] = std::move(conn);
+}
+
+NodeId ThreadRuntime::spawn(sim::Actor& actor, SiteId site) {
+  const std::size_t loop = add_loop();
+  NodeId id;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    id = next_auto_id_++;
+  }
+  add_actor(actor, id, site, loop);
+  return id;
+}
+
+void ThreadRuntime::start() {
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    if (started_) throw std::logic_error("start() twice");
+    started_ = true;
+  }
+  running_.store(true);
+  for (auto& [site, conn] : conns_) {
+    (void)site;
+    conn->writer = std::thread([this, c = conn.get()] { run_writer(*c); });
+  }
+  for (const int fd : listen_fds_) {
+    acceptors_.emplace_back([this, fd] { run_acceptor(fd); });
+  }
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, l = loop.get()] { run_loop(*l); });
+  }
+}
+
+void ThreadRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  // Break accept() and in-flight reads/writes.
+  for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    for (const int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& [site, conn] : conns_) {
+    (void)site;
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    conn->cv.notify_all();
+  }
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    loop->cv.notify_all();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& [site, conn] : conns_) {
+    (void)site;
+    if (conn->writer.joinable()) conn->writer.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  for (auto& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  acceptors_.clear();
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    readers.swap(reader_threads_);
+    for (const int fd : reader_fds_) ::close(fd);
+    reader_fds_.clear();
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ThreadRuntime::Loop* ThreadRuntime::loop_of(NodeId node) const {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  const auto it = local_.find(node);
+  return it == local_.end() ? nullptr : it->second.loop;
+}
+
+TimerId ThreadRuntime::schedule(NodeId home, Time delay,
+                                std::function<void()> fn) {
+  Loop* loop = nullptr;
+  std::size_t idx = 0;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    const auto it = local_.find(home);
+    if (it == local_.end()) {
+      throw std::logic_error("schedule: unknown home node");
+    }
+    loop = it->second.loop;
+    idx = it->second.loop_idx;
+  }
+  const Time deadline = now() + (delay < 0 ? 0 : delay);
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    seq = loop->next_seq++;
+    loop->timers.emplace(std::make_pair(deadline, seq), std::move(fn));
+    loop->deadline_of[seq] = deadline;
+    loop->cv.notify_all();
+  }
+  return (static_cast<TimerId>(idx + 1) << kTimerLoopShift) | seq;
+}
+
+void ThreadRuntime::cancel(TimerId id) {
+  if (id == 0) return;
+  const std::size_t idx = static_cast<std::size_t>(id >> kTimerLoopShift) - 1;
+  const std::uint64_t seq = id & ((1ULL << kTimerLoopShift) - 1);
+  Loop* loop = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    if (idx >= loops_.size()) return;
+    loop = loops_[idx].get();
+  }
+  std::lock_guard<std::mutex> lk(loop->mu);
+  const auto it = loop->deadline_of.find(seq);
+  if (it == loop->deadline_of.end()) return;
+  loop->timers.erase(std::make_pair(it->second, seq));
+  loop->deadline_of.erase(it);
+}
+
+void ThreadRuntime::enqueue_local(Loop& loop, Delivery d) {
+  std::lock_guard<std::mutex> lk(loop.mu);
+  loop.inbox.push_back(std::move(d));
+  loop.cv.notify_all();
+}
+
+void ThreadRuntime::send(NodeId from, NodeId to, sim::MessagePtr msg) {
+  std::vector<std::uint8_t> payload = encode_message(*msg);
+  Loop* loop = nullptr;
+  Conn* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    const auto it = local_.find(to);
+    if (it != local_.end()) {
+      loop = it->second.loop;
+    } else {
+      const auto rit = remote_site_.find(to);
+      if (rit == remote_site_.end()) {
+        ++frames_dropped_;
+        return;
+      }
+      const auto cit = conns_.find(rit->second);
+      if (cit == conns_.end()) {
+        ++frames_dropped_;
+        return;
+      }
+      conn = cit->second.get();
+    }
+  }
+  if (loop != nullptr) {
+    enqueue_local(*loop, Delivery{from, to, std::move(payload)});
+    return;
+  }
+  std::vector<std::uint8_t> frame = make_frame(from, to, payload);
+  std::lock_guard<std::mutex> lk(conn->mu);
+  if (conn->queue.size() >= kMaxOutboundFrames) {
+    ++frames_dropped_;
+    return;
+  }
+  conn->queue.push_back(std::move(frame));
+  conn->cv.notify_all();
+}
+
+SiteId ThreadRuntime::site_of(NodeId node) const {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  const auto it = local_.find(node);
+  if (it != local_.end()) return it->second.site;
+  const auto rit = remote_site_.find(node);
+  return rit == remote_site_.end() ? kNoSite : rit->second;
+}
+
+obs::Context& ThreadRuntime::obs() {
+  thread_local obs::Context ctx;
+  return ctx;
+}
+
+sim::FaultPoints& ThreadRuntime::faults() {
+  thread_local sim::FaultPoints points;
+  return points;
+}
+
+Rng& ThreadRuntime::rng() {
+  thread_local Rng r(seed_ + 0x9e37 * (1 + thread_counter.fetch_add(1)));
+  return r;
+}
+
+void ThreadRuntime::forget_actor(NodeId node) {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  local_.erase(node);
+}
+
+void ThreadRuntime::post(NodeId node, std::function<void()> fn) {
+  Loop* loop = loop_of(node);
+  if (loop == nullptr) throw std::logic_error("post: unknown node");
+  std::lock_guard<std::mutex> lk(loop->mu);
+  loop->posts.push_back(std::move(fn));
+  loop->cv.notify_all();
+}
+
+void ThreadRuntime::call(NodeId node, std::function<void()> fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  post(node, [&] {
+    fn();
+    std::lock_guard<std::mutex> lk(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done; });
+}
+
+void ThreadRuntime::collect_metrics(obs::MetricsRegistry& into) {
+  if (!running_.load()) return;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = loops_.size();
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    loop->posts.push_back([this, &into, &mu, &cv, &remaining] {
+      // Runs on the loop thread: obs() resolves to ITS registry.
+      std::lock_guard<std::mutex> lk2(mu);
+      into.merge_from(obs().metrics);
+      if (--remaining == 0) cv.notify_all();
+    });
+    loop->cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return remaining == 0; });
+}
+
+void ThreadRuntime::deliver(const Delivery& d) {
+  sim::Actor* actor = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    const auto it = local_.find(d.to);
+    if (it != local_.end()) actor = it->second.actor;
+  }
+  if (actor == nullptr || !actor->up_) return;
+  try {
+    sim::MessagePtr msg = decode_message(d.bytes);
+    actor->on_message(d.from, msg);
+  } catch (const BufferError& e) {
+    // A malformed frame is a codec bug or a torn stream; drop it like a
+    // corrupt packet rather than taking the loop down.
+    ++frames_dropped_;
+    WK_WARN(now(), "rt", std::string("dropping undecodable frame: ") + e.what());
+  }
+}
+
+void ThreadRuntime::run_loop(Loop& loop) {
+  for (sim::Actor* actor : loop.actors) actor->start();
+  std::unique_lock<std::mutex> lk(loop.mu);
+  while (running_.load()) {
+    if (!loop.posts.empty()) {
+      auto fn = std::move(loop.posts.front());
+      loop.posts.pop_front();
+      lk.unlock();
+      fn();
+      lk.lock();
+      continue;
+    }
+    if (!loop.inbox.empty()) {
+      Delivery d = std::move(loop.inbox.front());
+      loop.inbox.pop_front();
+      lk.unlock();
+      deliver(d);
+      lk.lock();
+      continue;
+    }
+    if (!loop.timers.empty() && loop.timers.begin()->first.first <= now()) {
+      auto it = loop.timers.begin();
+      const std::uint64_t seq = it->first.second;
+      auto fn = std::move(it->second);
+      loop.timers.erase(it);
+      loop.deadline_of.erase(seq);
+      lk.unlock();
+      fn();
+      lk.lock();
+      continue;
+    }
+    if (loop.timers.empty()) {
+      loop.cv.wait_for(lk, std::chrono::milliseconds(100));
+    } else {
+      loop.cv.wait_until(
+          lk, start_tp_ + std::chrono::microseconds(
+                              loop.timers.begin()->first.first));
+    }
+  }
+  // Unblock any call() waiters that raced shutdown.
+  while (!loop.posts.empty()) {
+    auto fn = std::move(loop.posts.front());
+    loop.posts.pop_front();
+    lk.unlock();
+    fn();
+    lk.lock();
+  }
+}
+
+void ThreadRuntime::run_writer(Conn& conn) {
+  std::unique_lock<std::mutex> lk(conn.mu);
+  while (running_.load()) {
+    if (conn.queue.empty()) {
+      conn.cv.wait_for(lk, std::chrono::milliseconds(100));
+      continue;
+    }
+    if (conn.fd < 0) {
+      lk.unlock();
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(conn.port);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      int connected = -1;
+      if (fd >= 0) {
+        connected =
+            ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+        if (connected == 0) {
+          int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        } else {
+          ::close(fd);
+        }
+      }
+      if (connected != 0) {
+        // Peer process not up yet (or gone): retry; queued frames wait.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        lk.lock();
+        continue;
+      }
+      lk.lock();
+      conn.fd = fd;
+    }
+    std::vector<std::uint8_t> frame = std::move(conn.queue.front());
+    conn.queue.pop_front();
+    const int fd = conn.fd;
+    lk.unlock();
+    const bool ok = write_full(fd, frame.data(), frame.size());
+    lk.lock();
+    if (!ok) {
+      ++frames_dropped_;
+      if (conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+  }
+}
+
+void ThreadRuntime::run_acceptor(int listen_fd) {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(io_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    reader_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { run_reader(fd); });
+  }
+}
+
+void ThreadRuntime::run_reader(int fd) {
+  std::uint8_t header[12];
+  while (running_.load()) {
+    if (!read_full(fd, header, sizeof(header))) return;
+    const std::uint32_t len = load_le32(header);
+    if (len < 8 || len > kMaxFrameBytes) return;  // torn stream
+    Delivery d;
+    d.from = static_cast<NodeId>(load_le32(header + 4));
+    d.to = static_cast<NodeId>(load_le32(header + 8));
+    d.bytes.resize(len - 8);
+    if (!d.bytes.empty() && !read_full(fd, d.bytes.data(), d.bytes.size())) {
+      return;
+    }
+    Loop* loop = loop_of(d.to);
+    if (loop == nullptr) {
+      ++frames_dropped_;
+      continue;
+    }
+    enqueue_local(*loop, std::move(d));
+  }
+}
+
+}  // namespace wankeeper::rt

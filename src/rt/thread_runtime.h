@@ -1,0 +1,167 @@
+// rt::Runtime over real threads and loopback TCP: the deployable
+// counterpart of the deterministic simulator. Each event loop owns a set of
+// actors (a co-located server + zab peer pair shares one loop, mirroring
+// the one-process-per-replica deployment), and every message — even one
+// between actors of the same loop — is serialized through rt/codec.h and
+// decoded on the destination loop, so no mutable state ever crosses a node
+// boundary by pointer.
+//
+// Cross-process topology: a node is either local (registered with
+// add_actor) or remote (registered with add_remote, reachable through the
+// TCP connection of its site). Frames are length-prefixed:
+//   [u32 len][i32 from][i32 to][codec payload],  len = 8 + payload size.
+// One listener socket per local site accepts peer processes' connections;
+// one outbound connection (with a dedicated writer thread and a bounded
+// queue) serves each remote site. Loss semantics match the seam contract:
+// frames queued while a peer is down are delivered when it connects, frames
+// in flight when a connection dies are gone — exactly the link-loss the
+// protocols already recover from (Zab resync, WAN retransmit).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "rt/runtime.h"
+#include "sim/actor.h"
+
+namespace wankeeper::rt {
+
+class ThreadRuntime final : public Runtime, public sim::ActorRegistry {
+ public:
+  explicit ThreadRuntime(std::uint64_t seed = 1);
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  // --- topology assembly; all of these before start() ---
+
+  // A new event loop; returns its index for add_actor.
+  std::size_t add_loop();
+  // Register a local actor under an explicit, cluster-wide-agreed id.
+  void add_actor(sim::Actor& actor, NodeId id, SiteId site, std::size_t loop);
+  // Declare a node that lives in another process; sends to it are framed
+  // over the TCP connection of `site`.
+  void add_remote(NodeId id, SiteId site);
+  // Accept frames for local actors on 127.0.0.1:port.
+  void listen(std::uint16_t port);
+  // Route frames addressed to `site`'s nodes to 127.0.0.1:port.
+  void connect_site(SiteId site, std::uint16_t port);
+
+  // Launches writer/listener/loop threads. Each loop first runs its actors'
+  // start() in registration order, then serves timers and deliveries.
+  void start();
+  // Stops every thread and joins them; idempotent, also run by ~.
+  // Registered actors must outlive this call.
+  void stop();
+
+  // Run fn on the loop that owns `node` (how non-loop threads poke actor
+  // state: client ops, crash/restart, metric sampling). call() waits for
+  // completion and rethrows nothing — fn must not throw.
+  void post(NodeId node, std::function<void()> fn);
+  void call(NodeId node, std::function<void()> fn);
+
+  std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
+
+  // Fold every event-loop thread's thread-local metrics registry into
+  // `into` (obs() is per-thread on this runtime, so no single registry has
+  // the whole picture). Runs a task on each loop and waits for all of
+  // them; only valid between start() and stop().
+  void collect_metrics(obs::MetricsRegistry& into);
+
+  // --- rt::Runtime ---
+  Time now() const override;
+  TimerId schedule(NodeId home, Time delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+  // Creates a dedicated loop and auto-assigns an id (ids from 1<<20, clear
+  // of any cluster plan). Pre-start only.
+  NodeId spawn(sim::Actor& actor, SiteId site) override;
+  void send(NodeId from, NodeId to, sim::MessagePtr msg) override;
+  SiteId site_of(NodeId node) const override;
+  obs::Context& obs() override;          // per-thread shard
+  sim::FaultPoints& faults() override;   // per-thread, never armed
+  Rng& rng() override;                   // per-thread, seeded off `seed`
+
+  // --- sim::ActorRegistry ---
+  void forget_actor(NodeId node) override;
+
+ private:
+  struct Delivery {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  struct Loop {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    // (absolute deadline, seq) -> callback; deadline_of mirrors it so
+    // cancel() is a lookup, not a scan.
+    std::map<std::pair<Time, std::uint64_t>, std::function<void()>> timers;
+    std::unordered_map<std::uint64_t, Time> deadline_of;
+    std::uint64_t next_seq = 1;
+    std::deque<Delivery> inbox;
+    std::deque<std::function<void()>> posts;
+    std::vector<sim::Actor*> actors;  // start() order
+  };
+
+  struct LocalNode {
+    sim::Actor* actor = nullptr;
+    Loop* loop = nullptr;
+    std::size_t loop_idx = 0;
+    SiteId site = kNoSite;
+  };
+
+  // Outbound link to one remote site's process.
+  struct Conn {
+    std::uint16_t port = 0;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> queue;  // complete frames
+    int fd = -1;
+  };
+
+  void run_loop(Loop& loop);
+  void deliver(const Delivery& d);
+  void enqueue_local(Loop& loop, Delivery d);
+  void run_writer(Conn& conn);
+  void run_acceptor(int listen_fd);
+  void run_reader(int fd);
+  Loop* loop_of(NodeId node) const;
+
+  const std::uint64_t seed_;
+  const std::chrono::steady_clock::time_point start_tp_;
+
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  mutable std::mutex route_mu_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unordered_map<NodeId, LocalNode> local_;
+  std::unordered_map<NodeId, SiteId> remote_site_;
+  std::map<SiteId, std::unique_ptr<Conn>> conns_;
+  NodeId next_auto_id_ = 1 << 20;
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> acceptors_;
+  std::mutex io_mu_;  // guards reader_threads_ / reader_fds_
+  std::vector<std::thread> reader_threads_;
+  std::vector<int> reader_fds_;
+
+  std::atomic<std::uint64_t> frames_dropped_{0};
+};
+
+}  // namespace wankeeper::rt

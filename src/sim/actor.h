@@ -1,41 +1,69 @@
-// An Actor is one process in the simulation: a server replica, a broker, a
-// client, a bookie. Actors receive messages from the Network and set timers
-// on the Simulator. Crash/restart semantics: a crashed actor receives
-// nothing and all its pending timers are invalidated (they belong to the
-// previous incarnation); durable state survives in the derived class unless
-// it chooses to clear it.
+// An Actor is one process in the deployment: a server replica, a broker, a
+// client, a bookie. Actors receive messages from their runtime and set
+// timers on it. Historically actors ran only on the simulator; they are now
+// written against rt::Runtime, so the identical protocol code also runs on
+// rt::ThreadRuntime over real threads and sockets. Crash/restart semantics:
+// a crashed actor receives nothing and all its pending timers are
+// invalidated (they belong to the previous incarnation); durable state
+// survives in the derived class unless it chooses to clear it.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "common/types.h"
+#include "rt/runtime.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
+
+namespace wankeeper::rt {
+class ThreadRuntime;
+}
 
 namespace wankeeper::sim {
 
 class Network;
 
+// Whoever owns the routing table an actor is registered in (the sim
+// Network, or a thread runtime). Notified on destruction so in-flight
+// deliveries to a destroyed actor are dropped rather than dereferencing
+// freed memory.
+class ActorRegistry {
+ public:
+  virtual void forget_actor(NodeId node) = 0;
+
+ protected:
+  ~ActorRegistry() = default;
+};
+
 class Actor {
  public:
-  Actor(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
-  // Deregisters from the network so in-flight deliveries to a destroyed
-  // actor are dropped rather than dereferencing freed memory.
-  virtual ~Actor();
+  Actor(rt::Runtime& rt, std::string name)
+      : rt_(rt), des_(rt.des()), name_(std::move(name)) {}
+  // Deregisters from its registry; see ActorRegistry.
+  virtual ~Actor() {
+    if (registry_ != nullptr) registry_->forget_actor(id_);
+  }
 
   Actor(const Actor&) = delete;
   Actor& operator=(const Actor&) = delete;
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
-  Simulator& sim() { return sim_; }
-  Time now() const { return sim_.now(); }
+  rt::Runtime& rt() const { return rt_; }
+  // DES-only accessor for harness/test code; protocol code must not assume
+  // it. Throws when the actor runs on a non-simulated runtime.
+  Simulator& sim() const {
+    if (des_ == nullptr) throw std::logic_error("actor not on a simulator");
+    return *des_;
+  }
+  Time now() const { return des_ != nullptr ? des_->now() : rt_.now(); }
   bool up() const { return up_; }
 
-  // Invoked once by the Network when the actor is registered.
+  // Invoked once by the runtime when the actor is registered.
   virtual void start() {}
 
   // Message delivery; never invoked while crashed.
@@ -58,8 +86,11 @@ class Actor {
 
   // Timer scheduling bound to the current incarnation: if the actor crashes
   // or restarts before the timer fires, the callback is silently skipped.
-  // Templated so the callable flows straight into the simulator's event
-  // slab instead of bouncing through a std::function allocation.
+  // Templated so on the DES the callable flows straight into the
+  // simulator's event slab instead of bouncing through a std::function
+  // allocation (the cached des_ pointer keeps that path identical —
+  // schedule order, allocation counters, and digests are unchanged by the
+  // runtime seam). Other runtimes take the type-erased schedule() path.
   //
   // The weak liveness token guards the case where the actor is *destroyed*
   // (not just crashed) while the timer is pending: the wrapper must decide
@@ -68,13 +99,20 @@ class Actor {
   template <typename F>
   EventId set_timer(Time delay, F&& fn) {
     const std::uint64_t inc = incarnation_;
-    return sim_.after(
-        delay, [this, alive = std::weak_ptr<const char>(live_token_), inc,
-                f = std::forward<F>(fn)]() {
-          if (!alive.expired() && up_ && incarnation_ == inc) f();
-        });
+    auto guarded = [this, alive = std::weak_ptr<const char>(live_token_), inc,
+                    f = std::forward<F>(fn)]() {
+      if (!alive.expired() && up_ && incarnation_ == inc) f();
+    };
+    if (des_ != nullptr) return des_->after(delay, std::move(guarded));
+    return rt_.schedule(id_, delay, std::move(guarded));
   }
-  void cancel_timer(EventId id) { sim_.cancel(id); }
+  void cancel_timer(EventId id) {
+    if (des_ != nullptr) {
+      des_->cancel(id);
+      return;
+    }
+    rt_.cancel(id);
+  }
 
  protected:
   virtual void on_crash() {}
@@ -82,9 +120,11 @@ class Actor {
 
  private:
   friend class Network;
+  friend class wankeeper::rt::ThreadRuntime;
 
-  Network* registered_net_ = nullptr;
-  Simulator& sim_;
+  ActorRegistry* registry_ = nullptr;
+  rt::Runtime& rt_;
+  Simulator* const des_;  // cached rt_.des(); non-null iff on the DES
   std::string name_;
   NodeId id_ = kNoNode;
   bool up_ = true;

@@ -5,10 +5,6 @@
 
 namespace wankeeper::sim {
 
-Actor::~Actor() {
-  if (registered_net_ != nullptr) registered_net_->forget(id_);
-}
-
 LatencyModel::LatencyModel(std::size_t sites, Time intra_site, Time inter_site,
                            double jitter_fraction)
     : jitter_(jitter_fraction) {
@@ -79,6 +75,24 @@ Network::Network(Simulator& sim, LatencyModel latency)
   links_.resize(latency_.sites() * latency_.sites());
   wan_counters_.resize(latency_.sites());
   refresh_wan_counters();
+  sim_.attach_network(*this);
+}
+
+// The simulator's rt::Runtime surface, routed through the attached network.
+// Defined here (not simulator.cpp) so simulator.cpp needn't see Network.
+NodeId Simulator::spawn(Actor& actor, SiteId site) {
+  if (net_ == nullptr) throw std::logic_error("no network attached");
+  return net_->add_node(actor, site);
+}
+
+void Simulator::send(NodeId from, NodeId to, MessagePtr msg) {
+  if (net_ == nullptr) throw std::logic_error("no network attached");
+  net_->send(from, to, std::move(msg));
+}
+
+SiteId Simulator::site_of(NodeId node) const {
+  if (net_ == nullptr) return kNoSite;
+  return net_->site_of(node);
 }
 
 void Network::refresh_wan_counters() {
@@ -100,7 +114,7 @@ NodeId Network::add_node(Actor& actor, SiteId site) {
   sites_.push_back(site);
   channel_clock_.emplace_back();
   actor.id_ = id;
-  actor.registered_net_ = this;
+  actor.registry_ = this;
   actor.start();
   return id;
 }

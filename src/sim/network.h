@@ -88,8 +88,10 @@ struct LinkState {
   }
 };
 
-class Network {
+class Network : public ActorRegistry {
  public:
+  // Attaches itself to `sim` so the simulator's rt::Runtime send/spawn/
+  // site_of surface routes through this network.
   Network(Simulator& sim, LatencyModel latency);
 
   // Registers the actor, assigns its NodeId, calls start(). An actor that
@@ -97,6 +99,7 @@ class Network {
   // to it are then dropped.
   NodeId add_node(Actor& actor, SiteId site);
   void forget(NodeId node);
+  void forget_actor(NodeId node) override { forget(node); }
 
   SiteId site_of(NodeId node) const;
   Actor& actor(NodeId node) const;  // must still be alive

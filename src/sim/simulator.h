@@ -24,14 +24,19 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "obs/context.h"
+#include "rt/runtime.h"
 #include "sim/faults.h"
 
 namespace wankeeper::sim {
 
+class Actor;
+class Network;
+
 // Encodes (slot generation << 32 | slot index); opaque to callers.
 // Generations start at 1, so a valid id is never 0 and a stale or
 // fabricated id fails the generation check instead of aliasing.
-using EventId = std::uint64_t;
+// Layout-compatible with rt::TimerId (the simulator IS a runtime).
+using EventId = rt::TimerId;
 
 // Event-loop profile: how hard the simulator itself worked. Scheduling and
 // execution counters are always on (plain increments); wall-clock timing is
@@ -58,20 +63,42 @@ struct SimProfile {
   }
 };
 
-class Simulator {
+// `final` matters: Actor caches a Simulator* from rt::Runtime::des() and
+// the compiler devirtualizes every now()/after()/cancel() through it, so
+// the seam costs the DES hot path nothing.
+class Simulator final : public rt::Runtime {
  public:
   explicit Simulator(std::uint64_t seed = 1);
-  ~Simulator();
+  ~Simulator() override;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Time now() const { return now_; }
-  Rng& rng() { return rng_; }
+  Time now() const override { return now_; }
+  Rng& rng() override { return rng_; }
   // Flight recorder (metrics + traces) for everything running on this sim.
-  obs::Context& obs() { return obs_; }
+  obs::Context& obs() override { return obs_; }
   // Recovery fault-injection points (see sim/faults.h).
-  FaultPoints& faults() { return faults_; }
+  FaultPoints& faults() override { return faults_; }
+  Simulator* des() override { return this; }
+
+  // --- rt::Runtime message/placement surface, delegated to the attached
+  // Network (the most recently constructed one; deployments build exactly
+  // one per simulator). Implemented in network.cpp.
+  void attach_network(Network& net) { net_ = &net; }
+  Network* network() const { return net_; }
+  NodeId spawn(Actor& actor, SiteId site) override;
+  void send(NodeId from, NodeId to, MessagePtr msg) override;
+  SiteId site_of(NodeId node) const override;
+
+  // Type-erased timer entry point for runtime-generic callers; Actor's
+  // templated set_timer goes straight to after() instead. `home` is
+  // irrelevant on a single-threaded runtime.
+  rt::TimerId schedule(NodeId home, Time delay,
+                       std::function<void()> fn) override {
+    (void)home;
+    return after(delay, std::move(fn));
+  }
 
   // Schedule `fn` at absolute virtual time `when` (>= now). Events at equal
   // times run in scheduling order. Returns an id usable with cancel().
@@ -96,7 +123,7 @@ class Simulator {
   }
 
   // Cancelling an already-fired or unknown id is a harmless no-op.
-  void cancel(EventId id);
+  void cancel(EventId id) override;
 
   // Execute the next pending event. Returns false when the queue is empty.
   bool step();
@@ -231,6 +258,7 @@ class Simulator {
   Rng rng_;
   obs::Context obs_;
   FaultPoints faults_;
+  Network* net_ = nullptr;
 };
 
 }  // namespace wankeeper::sim

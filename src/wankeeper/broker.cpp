@@ -10,10 +10,10 @@
 
 namespace wankeeper::wk {
 
-Broker::Broker(sim::Simulator& sim, std::string name, zk::ServerOptions server_opts,
+Broker::Broker(rt::Runtime& rt, std::string name, zk::ServerOptions server_opts,
                WanOptions wan_opts, std::shared_ptr<const SiteDirectory> directory,
                TokenAuditor* auditor)
-    : Server(sim, std::move(name), server_opts),
+    : Server(rt, std::move(name), server_opts),
       wan_(wan_opts),
       directory_(std::move(directory)),
       auditor_(auditor),
@@ -33,7 +33,7 @@ WanTransport Broker::make_transport(SiteId site_id) {
         set_timer(delay, [this]() { transport_.flush_all(); });
       });
   t.set_frame_observer([this](std::size_t msgs) {
-    auto& metrics = sim().obs().metrics;
+    auto& metrics = rt().obs().metrics;
     frames_sent_ctr_.at(metrics, "wan.frames_sent", site()).inc();
     frame_msgs_ctr_.at(metrics, "wan.frame_msgs", site()).inc(msgs);
     frame_batch_hist_.at(metrics, "wan.frame_batch", site())
@@ -132,7 +132,7 @@ void Broker::raw_send_to_site(SiteId dest, sim::MessagePtr frame) {
   if (const auto it = leader_hint_.find(dest); it != leader_hint_.end()) {
     hint = it->second % servers.size();
   }
-  net().send(id(), servers[hint], std::move(frame));
+  rt().send(id(), servers[hint], std::move(frame));
 }
 
 void Broker::learn_leader_hint(SiteId s, NodeId node) {
@@ -164,7 +164,7 @@ void Broker::observe_peer(SiteId s, NodeId leader_node, std::uint32_t zab_epoch)
   // our outgoing frames were sequenced against: without a reset the new
   // leader buffers them forever (seq > expected) and the stream wedges.
   transport_.reset_stream(s);
-  sim().obs().metrics.counter("wan.stream_resets", site()).inc();
+  rt().obs().metrics.counter("wan.stream_resets", site()).inc();
   WK_INFO(now(), name(),
           "site " + std::to_string(s) + " re-elected (zab epoch " +
               std::to_string(zab_epoch) + "); stream reset");
@@ -202,7 +202,7 @@ void Broker::on_message(NodeId from, const sim::MessagePtr& msg) {
   // landed on a follower (the sender's hint was stale).
   if (!is_leader()) {
     if (leader_server() != kNoNode && leader_server() != id()) {
-      net().send(id(), leader_server(), msg);
+      rt().send(id(), leader_server(), msg);
     }
     return;
   }
@@ -325,7 +325,7 @@ void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
   if (tokens_held_locally(keys) && leases_valid()) {
     ++bstats_.local_token_commits;
     if (auditor_ != nullptr) auditor_->count_local_commit();
-    sim().obs().metrics.counter("token.local_commits", site()).inc();
+    rt().obs().metrics.counter("token.local_commits", site()).inc();
     prep_and_propose(req, origin_server);
     return;
   }
@@ -334,8 +334,8 @@ void Broker::route_write(const zk::ClientRequest& req, NodeId origin_server) {
 
 void Broker::forward_to_l2(const zk::ClientRequest& req, NodeId origin_server) {
   ++bstats_.wan_forwards;
-  sim().obs().metrics.counter("broker.wan_forwards", site()).inc();
-  sim().obs().tracer.open(req.trace, obs::SpanKind::kWanHop, l2_site_, name(),
+  rt().obs().metrics.counter("broker.wan_forwards", site()).inc();
+  rt().obs().tracer.open(req.trace, obs::SpanKind::kWanHop, l2_site_, name(),
                           now(),
                           "site " + std::to_string(site()) + " -> site " +
                               std::to_string(l2_site_) + " (forward)");
@@ -372,9 +372,9 @@ void Broker::propose_token_return(const std::vector<TokenKey>& keys) {
 
 void Broker::handle_replicate_down(SiteId from_site, const ReplicateDownMsg& m) {
   // No-op on retransmits: the span is already closed.
-  sim().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
+  rt().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
                            now());
-  auto& metrics = sim().obs().metrics;
+  auto& metrics = rt().obs().metrics;
   // Epoch fence: fan-outs from a deposed L2 regime must not be applied
   // against the new regime's sequence; ones from a newer regime mean we
   // have not heard the gossip yet — adopt it from the hub itself.
@@ -396,7 +396,7 @@ void Broker::handle_replicate_down(SiteId from_site, const ReplicateDownMsg& m) 
   }
   if (m.resync) {
     metrics.counter("resync.applied", site()).inc();
-    sim().obs().tracer.close(m.resync_trace, obs::SpanKind::kWanHop, site(),
+    rt().obs().tracer.close(m.resync_trace, obs::SpanKind::kWanHop, site(),
                              now());
   }
   down_proposed_.insert(g);
@@ -407,7 +407,7 @@ void Broker::handle_replicate_down(SiteId from_site, const ReplicateDownMsg& m) 
   if (m.resync) {
     // Recovery fault point: a resynced txn is proposed locally but not yet
     // applied — crash here models a site dying mid-resync.
-    sim().faults().fire("wk.resync_apply", name());
+    rt().faults().fire("wk.resync_apply", name());
   }
 }
 
@@ -424,20 +424,20 @@ void Broker::send_register() {
   m->owned_tokens = site_tokens_.owned_keys();
   // The frontier announcement gets its own trace so a post-mortem can see
   // register -> (resync ship -> first apply) as one timeline.
-  m->trace = sim().obs().tracer.begin("register", site(), now());
-  sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, l2_site_, name(),
+  m->trace = rt().obs().tracer.begin("register", site(), now());
+  rt().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, l2_site_, name(),
                           now(),
                           "register site " + std::to_string(site()) +
                               " -> site " + std::to_string(l2_site_));
   raw_send_to_site(l2_site_, std::move(m));
-  sim().obs().metrics.counter("resync.registers_sent", site()).inc();
-  sim().obs().events.record(now(), site(), obs::EventKind::kRegister, name(),
+  rt().obs().metrics.counter("resync.registers_sent", site()).inc();
+  rt().obs().events.record(now(), site(), obs::EventKind::kRegister, name(),
                             "to hub site " + std::to_string(l2_site_),
                             /*key=*/"",
                             /*a=*/static_cast<std::uint64_t>(peer()->current_epoch()));
   // Recovery fault point: the frontier announcement is on the wire; crash
   // here models a leader dying between registering and being resynced.
-  sim().faults().fire("wk.register_sent", name());
+  rt().faults().fire("wk.register_sent", name());
 }
 
 void Broker::handle_register_ok(const RegisterOkMsg& m) {
@@ -566,7 +566,7 @@ void Broker::post_apply(const zk::Envelope& env, store::Rc rc) {
     ++bstats_.replicate_up;
     zk::Envelope up = env;
     up.txn.origin_zxid = txn.zxid;
-    sim().obs().tracer.open(up.trace, obs::SpanKind::kWanHop, l2_site_, name(),
+    rt().obs().tracer.open(up.trace, obs::SpanKind::kWanHop, l2_site_, name(),
                             now(),
                             "site " + std::to_string(site()) + " -> site " +
                                 std::to_string(l2_site_) + " (up)");
@@ -599,7 +599,7 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     // the ownership analytics dedupe the repeated transition.
     if (is_leader() && (grantee == site() || l2_role())) {
       for (const auto& key : txn.paths) {
-        sim().obs().events.record(now(), site(), obs::EventKind::kTokenGrant,
+        rt().obs().events.record(now(), site(), obs::EventKind::kTokenGrant,
                                   name(), "", key,
                                   /*a=*/static_cast<std::uint64_t>(grantee));
       }
@@ -607,7 +607,7 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     if (grantee == site()) {
       site_tokens_.apply_granted(txn.paths);
       if (auditor_ != nullptr) auditor_->count_grant();
-      sim().obs().metrics.counter("token.grants", site()).inc();
+      rt().obs().metrics.counter("token.grants", site()).inc();
       // Recalls that raced ahead of this grant start their return now.
       const auto ret = site_tokens_.take_pending_recalls(txn.paths);
       if (is_leader() && !ret.empty()) propose_token_return(ret);
@@ -636,7 +636,7 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     }
     if (is_leader() && (returner == site() || l2_role())) {
       for (const auto& key : txn.paths) {
-        sim().obs().events.record(now(), site(), obs::EventKind::kTokenReturn,
+        rt().obs().events.record(now(), site(), obs::EventKind::kTokenReturn,
                                   name(), "", key,
                                   /*a=*/static_cast<std::uint64_t>(returner));
       }
@@ -644,12 +644,12 @@ void Broker::apply_token_marker(const store::Txn& txn) {
     if (returner == site()) {
       site_tokens_.apply_returned(txn.paths);
       if (auditor_ != nullptr) auditor_->count_return();
-      sim().obs().metrics.counter("token.returns", site()).inc();
+      rt().obs().metrics.counter("token.returns", site()).inc();
     }
     if (l2_role()) {
       for (const auto& key : txn.paths) {
         if (const auto it = recall_sent_.find(key); it != recall_sent_.end()) {
-          sim().obs().metrics.histogram("token.recall_latency_us")
+          rt().obs().metrics.histogram("token.recall_latency_us")
               .record(now() - it->second);
           recall_sent_.erase(it);
         }
@@ -703,7 +703,7 @@ void Broker::audit_applied(const zk::Envelope& env) {
         }
       }
       auditor_->count_remote_commit();
-      sim().obs().metrics.counter("token.remote_commits", site()).inc();
+      rt().obs().metrics.counter("token.remote_commits", site()).inc();
     } else {
       for (const auto& key : keys) {
         if (broker_tokens_.owner(key) != txn.origin_site) {

@@ -109,7 +109,7 @@ struct BrokerStats {
 
 class Broker : public zk::Server {
  public:
-  Broker(sim::Simulator& sim, std::string name, zk::ServerOptions server_opts,
+  Broker(rt::Runtime& rt, std::string name, zk::ServerOptions server_opts,
          WanOptions wan_opts, std::shared_ptr<const SiteDirectory> directory,
          TokenAuditor* auditor = nullptr);
 
@@ -118,6 +118,9 @@ class Broker : public zk::Server {
   // True while a freshly promoted hub is still catching up (RECONCILING):
   // collecting frontiers, pulling missing txns, deferring client work.
   bool l2_reconciling() const { return l2_reconciling_; }
+  // An L1 leader has completed hub discovery (Fig 2 registration); an L2
+  // does not register with itself, so this is true for a hub leader too.
+  bool registered_with_hub() const { return registered_; }
   SiteId l2_site() const { return l2_site_; }
   std::uint32_t l2_epoch() const { return l2_epoch_; }
   const SiteTokenTable& site_tokens() const { return site_tokens_; }

@@ -10,10 +10,10 @@ Deployment::Deployment(sim::Simulator& sim, sim::Network& net,
   for (std::size_t s = 0; s < config_.sites; ++s) {
     std::vector<zk::NodeSpec> specs(config_.nodes_per_site,
                                     zk::NodeSpec{static_cast<SiteId>(s), false});
-    auto factory = [this, auditor](sim::Simulator& simr, const std::string& name,
+    auto factory = [this, auditor](rt::Runtime& rt, const std::string& name,
                                    const zk::ServerOptions& opts) {
       return std::unique_ptr<zk::Server>(
-          new Broker(simr, name, opts, config_.wan, directory_, auditor));
+          new Broker(rt, name, opts, config_.wan, directory_, auditor));
     };
     ensembles_.push_back(std::make_unique<zk::Ensemble>(
         sim_, net_, specs, config_.server, config_.peer, factory,

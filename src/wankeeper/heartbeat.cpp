@@ -31,8 +31,8 @@ void Broker::send_heartbeats() {
     // frontier announcement that can trigger a resync, and tracing every
     // gossip leg would drown the recorder in noise.
     if (dest == l2_site_) {
-      m->trace = sim().obs().tracer.begin("frontier_announce", site(), now());
-      sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(),
+      m->trace = rt().obs().tracer.begin("frontier_announce", site(), now());
+      rt().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(),
                               now(),
                               "heartbeat site " + std::to_string(site()) +
                                   " -> site " + std::to_string(dest));
@@ -66,7 +66,7 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
   if (from_site == l2_site_) l2_last_heard_ = now();
 
   if (l2_role()) {
-    sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
+    rt().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
     // Keep the piggybacked sessions alive in our expiry tracker.
     touch_sessions(m.live_sessions);
     if (l2_reconciling_) {
@@ -76,7 +76,7 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
       if (m.l2_site == site() && m.l2_epoch == l2_epoch_) {
         l2_note_fresh_frontier(from_site, m.down_frontiers);
       }
-      sim().obs().tracer.end(m.trace, now());
+      rt().obs().tracer.end(m.trace, now());
       if (frontier_ahead(m.down_frontiers)) l2_send_pull(from_site);
       l2_reconcile_check();
     } else {
@@ -93,19 +93,19 @@ void Broker::handle_heartbeat(SiteId from_site, const WanHeartbeatMsg& m) {
                           now() - sent->second >= wan_.resync_min_interval;
       if (frontier_behind(m.down_frontiers) && cooled &&
           (transport_.unacked(from_site) == 0 || stagnant)) {
-        sim().obs().events.record(
+        rt().obs().events.record(
             now(), site(), obs::EventKind::kFrontier, name(),
             stagnant ? "behind and stagnant" : "behind on idle stream",
             /*key=*/"", /*a=*/static_cast<std::uint64_t>(from_site));
         l2_resync_site(from_site, m.down_frontiers, m.trace);
       } else {
         // No resync this round: the announce trace ends at the hub.
-        sim().obs().tracer.end(m.trace, now());
+        rt().obs().tracer.end(m.trace, now());
       }
     }
   } else {
     // We are not the hub this heartbeat hoped for; close the book on it.
-    sim().obs().tracer.end(m.trace, now());
+    rt().obs().tracer.end(m.trace, now());
   }
 
   auto reply = sim::make_mutable_message<WanHeartbeatReplyMsg>();
@@ -137,7 +137,7 @@ void Broker::adopt_l2(SiteId site_id, std::uint32_t epoch) {
   WK_INFO(now(), name(),
           "adopting L2 site " + std::to_string(site_id) + " (epoch " +
               std::to_string(epoch) + ")");
-  sim().obs().events.record(now(), site(), obs::EventKind::kL2Adopt, name(),
+  rt().obs().events.record(now(), site(), obs::EventKind::kL2Adopt, name(),
                             "", /*key=*/"",
                             /*a=*/static_cast<std::uint64_t>(site_id),
                             /*b=*/epoch);
@@ -209,7 +209,7 @@ void Broker::consider_l2_failover() {
           "L2 site " + std::to_string(l2_site_) + " silent for " +
               format_time(now() - l2_last_heard_) + "; promoting self (epoch " +
               std::to_string(epoch) + ")");
-  sim().obs().events.record(now(), site(), obs::EventKind::kHubPromote, name(),
+  rt().obs().events.record(now(), site(), obs::EventKind::kHubPromote, name(),
                             "old hub site " + std::to_string(l2_site_) +
                                 " silent",
                             /*key=*/"", /*a=*/epoch);

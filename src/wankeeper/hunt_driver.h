@@ -27,6 +27,8 @@
 #define WK_HUNT_HAS_FORK 1
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <cerrno>
 #else
 #define WK_HUNT_HAS_FORK 0
 #endif
@@ -251,7 +253,14 @@ inline HuntReport run_parallel(const HuntOptions& opt, int workers) {
   struct Chunk {
     std::uint64_t start = 0, count = 0;
     pid_t pid = -1;
+    int status = 0;
+    bool reaped = false;
     std::string part_path;
+
+    std::string slice() const {
+      return "[" + std::to_string(start) + ", " +
+             std::to_string(start + count) + ")";
+    }
   };
   std::vector<Chunk> chunks;
   std::uint64_t next = opt.start;
@@ -282,28 +291,61 @@ inline HuntReport run_parallel(const HuntOptions& opt, int workers) {
     }
     c.pid = pid;  // pid < 0 (fork failure) handled below: run inline
     if (pid < 0) {
-      HuntOptions sub = opt;
-      sub.progress = false;
-      const HuntReport part = run_range(sub, c.start, c.count);
-      std::ofstream f(c.part_path);
-      f << part.cells << " " << part.failures << "\n";
-      for (const std::string& line : part.fail_lines) f << line << "\n";
+      // An exception out of the inline slice would skip the reap barrier
+      // below and leave every already-forked worker a zombie — contain it
+      // and report the slice as failed instead.
+      try {
+        HuntOptions sub = opt;
+        sub.progress = false;
+        const HuntReport part = run_range(sub, c.start, c.count);
+        std::ofstream f(c.part_path);
+        f << part.cells << " " << part.failures << "\n";
+        for (const std::string& line : part.fail_lines) f << line << "\n";
+      } catch (const std::exception& e) {
+        std::ofstream f(c.part_path);
+        f << "0 1\n"
+          << "FAIL inline slice for seeds " << c.slice()
+          << " threw: " << e.what() << "\n";
+      }
+    }
+  }
+
+  // Reap barrier: collect EVERY worker before touching any part file, so a
+  // bad early slice cannot leave the later workers as zombies.
+  for (Chunk& c : chunks) {
+    if (c.pid <= 0) continue;
+    int status = 0;
+    pid_t r;
+    do {
+      r = waitpid(c.pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r == c.pid) {
+      c.status = status;
+      c.reaped = true;
     }
   }
 
   HuntReport rep;
   for (Chunk& c : chunks) {
-    if (c.pid > 0) {
-      int status = 0;
-      waitpid(c.pid, &status, 0);
-      if (!WIFEXITED(status)) {
-        // A crashed worker is itself a failure: report the slice so the
-        // range is never silently under-covered.
-        rep.failures += 1;
-        rep.fail_lines.push_back(
-            "FAIL worker for seeds [" + std::to_string(c.start) + ", " +
-            std::to_string(c.start + c.count) + ") died before finishing");
-      }
+    // A crashed worker is itself a failure: propagate how it died into
+    // report.txt so the range is never silently under-covered. Exit 0 is a
+    // clean slice and exit 1 means cell failures the part file records;
+    // anything else died before the part file was complete.
+    bool worker_died = false;
+    auto report_worker = [&](const std::string& how) {
+      worker_died = true;
+      rep.failures += 1;
+      std::string line = "FAIL worker for seeds " + c.slice() + " " + how;
+      std::printf("%s\n", line.c_str());
+      rep.fail_lines.push_back(std::move(line));
+    };
+    if (c.pid > 0 && !c.reaped) {
+      report_worker("could not be reaped");
+    } else if (c.reaped && WIFSIGNALED(c.status)) {
+      report_worker("killed by signal " + std::to_string(WTERMSIG(c.status)));
+    } else if (c.reaped && WIFEXITED(c.status) && WEXITSTATUS(c.status) > 1) {
+      report_worker("exited with status " +
+                    std::to_string(WEXITSTATUS(c.status)));
     }
     std::ifstream f(c.part_path);
     std::uint64_t cells = 0, failures = 0;
@@ -318,6 +360,8 @@ inline HuntReport run_parallel(const HuntOptions& opt, int workers) {
           std::printf("%s\n", line.c_str());
         }
       }
+    } else if (!worker_died) {
+      report_worker("left no part file");
     }
     std::filesystem::remove(c.part_path, ec);
   }

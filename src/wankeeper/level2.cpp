@@ -28,7 +28,7 @@ std::uint64_t Broker::next_gseq() {
   const std::uint64_t gseq = make_gseq(l2_epoch_, ++gseq_counter_);
   // Flight recorder: the split-brain smoking gun. If two sites ever record
   // a mint for the same numeric gseq, the post-mortem has its fork.
-  sim().obs().events.record(now(), site(), obs::EventKind::kGseqMint, name(),
+  rt().obs().events.record(now(), site(), obs::EventKind::kGseqMint, name(),
                             "", /*key=*/"", /*a=*/gseq, /*b=*/l2_epoch_);
   return gseq;
 }
@@ -45,7 +45,7 @@ void Broker::handle_wan_forward(SiteId from_site, const WanForwardMsg& m) {
     });
     return;
   }
-  sim().obs().tracer.close(m.request.trace, obs::SpanKind::kWanHop, site(),
+  rt().obs().tracer.close(m.request.trace, obs::SpanKind::kWanHop, site(),
                            now());
   l2_serve(m.request, from_site, m.origin_server);
 }
@@ -62,7 +62,7 @@ void Broker::handle_replicate_up(SiteId from_site, const ReplicateUpMsg& m) {
     return;
   }
   (void)from_site;
-  sim().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
+  rt().obs().tracer.close(m.envelope.trace, obs::SpanKind::kWanHop, site(),
                            now());
   const store::Txn& txn = m.envelope.txn;
   const Zxid applied = [&] {
@@ -107,10 +107,10 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
   if (!l2_role()) {
     // Stale routing: the sender will adopt the real L2 via gossip. Close
     // the announce trace so it doesn't dangle open in the recorder.
-    sim().obs().tracer.end(m.trace, now());
+    rt().obs().tracer.end(m.trace, now());
     return;
   }
-  sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
+  rt().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
   site_last_heard_[from_site] = now();
   site_frontiers_[from_site] = m.down_frontiers;
 
@@ -158,7 +158,7 @@ void Broker::handle_register(SiteId from_site, const RegisterMsg& m) {
     // l2_reconcile_check if it is ahead of us. The finish step resyncs it,
     // so no refill is lost by skipping l2_resync_site here.
     l2_note_fresh_frontier(from_site, m.down_frontiers);
-    sim().obs().tracer.end(m.trace, now());
+    rt().obs().tracer.end(m.trace, now());
     l2_reconcile_check();
     return;
   }
@@ -179,7 +179,7 @@ void Broker::l2_propose_remote(const zk::Envelope& env) {
 void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
                       NodeId origin_server) {
   // Re-served after a park: close the wait span (no-op on first arrival).
-  sim().obs().tracer.close(req.trace, obs::SpanKind::kTokenWait, site(), now());
+  rt().obs().tracer.close(req.trace, obs::SpanKind::kTokenWait, site(), now());
   const auto keys = tokens_for_request(req);
 
   // Fail fast on requests that are invalid against our (causally current)
@@ -215,8 +215,8 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
 
   if (!missing.empty()) {
     ++bstats_.parked;
-    sim().obs().metrics.counter("broker.parked", site()).inc();
-    sim().obs().tracer.open(req.trace, obs::SpanKind::kTokenWait, site(),
+    rt().obs().metrics.counter("broker.parked", site()).inc();
+    rt().obs().tracer.open(req.trace, obs::SpanKind::kTokenWait, site(),
                             name(), now(),
                             "waiting for " + std::to_string(missing.size()) +
                                 " token(s)");
@@ -263,7 +263,7 @@ void Broker::l2_serve(const zk::ClientRequest& req, SiteId from_site,
     return;
   }
   ++bstats_.l2_served;
-  sim().obs().metrics.counter("broker.l2_served", site()).inc();
+  rt().obs().metrics.counter("broker.l2_served", site()).inc();
   zk::Envelope env;
   env.session = req.session;
   env.xid = req.xid;
@@ -289,7 +289,7 @@ void Broker::l2_propose_grant(const std::vector<TokenKey>& keys, SiteId grantee)
   // Recovery fault point: a grant is proposed but its marker not yet
   // committed — crash here models the hub dying with a grant in flight
   // during a leader change.
-  sim().faults().fire("wk.grant_proposed", name());
+  rt().faults().fire("wk.grant_proposed", name());
 }
 
 void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
@@ -297,10 +297,10 @@ void Broker::l2_send_recall(const std::vector<TokenKey>& keys, SiteId owner) {
   bstats_.recalls += keys.size();
   for (const auto& key : keys) {
     if (auditor_ != nullptr) auditor_->count_recall();
-    sim().obs().metrics.counter("token.recalls", site()).inc();
+    rt().obs().metrics.counter("token.recalls", site()).inc();
     recall_sent_.try_emplace(key, now());
     broker_tokens_.mark_recalling(key, true);
-    sim().obs().events.record(now(), site(), obs::EventKind::kTokenRecall,
+    rt().obs().events.record(now(), site(), obs::EventKind::kTokenRecall,
                               name(), "", key,
                               /*a=*/static_cast<std::uint64_t>(owner));
   }
@@ -364,7 +364,7 @@ void Broker::l2_fan_out(const zk::Envelope& env) {
     // Trace only the hop back to the request's origin site (where the
     // client is waiting); the other fan-out legs are not on its path.
     if (dest == txn.origin_site && txn.origin_zxid == kNoZxid) {
-      sim().obs().tracer.open(env.trace, obs::SpanKind::kWanHop, dest, name(),
+      rt().obs().tracer.open(env.trace, obs::SpanKind::kWanHop, dest, name(),
                               now(),
                               "site " + std::to_string(site()) + " -> site " +
                                   std::to_string(dest) + " (down)");
@@ -448,8 +448,8 @@ void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& fronti
           // post-mortem then reads announce -> ship -> apply.
           trace = announce != obs::kNoTrace
                       ? announce
-                      : sim().obs().tracer.begin("resync", site(), now());
-          sim().obs().tracer.open(trace, obs::SpanKind::kWanHop, dest, name(),
+                      : rt().obs().tracer.begin("resync", site(), now());
+          rt().obs().tracer.open(trace, obs::SpanKind::kWanHop, dest, name(),
                                   now(),
                                   "resync site " + std::to_string(site()) +
                                       " -> site " + std::to_string(dest));
@@ -458,22 +458,22 @@ void Broker::l2_resync_site(SiteId dest, const std::vector<GseqFrontier>& fronti
       });
   if (shipped > 0) {
     resync_sent_at_[dest] = now();
-    sim().obs().metrics.counter("resync.rounds", site()).inc();
-    sim().obs().metrics.counter("resync.txns_shipped", site()).inc(shipped);
+    rt().obs().metrics.counter("resync.rounds", site()).inc();
+    rt().obs().metrics.counter("resync.txns_shipped", site()).inc(shipped);
     WK_INFO(now(), name(),
             "resynced site " + std::to_string(dest) + " with " +
                 std::to_string(shipped) + " txn(s)");
-    sim().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
+    rt().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
                               "", /*key=*/"", /*a=*/shipped,
                               /*b=*/static_cast<std::uint64_t>(dest));
     // Recovery fault point: the resync burst is on the wire but nothing is
     // confirmed applied — crash here models the hub dying right after a
     // resync request was served.
-    sim().faults().fire("wk.resync_sent", name());
+    rt().faults().fire("wk.resync_sent", name());
   } else if (announce != obs::kNoTrace) {
     // Frontiers were already covered — the announce trace ends here rather
     // than dangling open in the recorder.
-    sim().obs().tracer.end(announce, now());
+    rt().obs().tracer.end(announce, now());
   }
 }
 
@@ -492,7 +492,7 @@ void Broker::l2_reclaim_dead_site_tokens() {
             "lease expired: reclaiming " + std::to_string(keys.size()) +
                 " token(s) from dead site " + std::to_string(s));
     for (const auto& key : keys) {
-      sim().obs().events.record(now(), site(), obs::EventKind::kTokenReclaim,
+      rt().obs().events.record(now(), site(), obs::EventKind::kTokenReclaim,
                                 name(), "lease expired", key,
                                 /*a=*/static_cast<std::uint64_t>(s));
     }
@@ -525,10 +525,10 @@ void Broker::l2_enter_reconcile(const std::string& why) {
   reconcile_pull_sent_.clear();
   reconcile_epoch_was_fresh_ = applied_down_by_epoch_.count(l2_epoch_) == 0;
   ++bstats_.reconciles;
-  sim().obs().metrics.counter("reconcile.entered", site()).inc();
+  rt().obs().metrics.counter("reconcile.entered", site()).inc();
   WK_INFO(now(), name(),
           "RECONCILING (epoch " + std::to_string(l2_epoch_) + "): " + why);
-  sim().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
+  rt().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
                             name(), "begin: " + why, /*key=*/"",
                             /*a=*/l2_epoch_);
   l2_reconcile_check();
@@ -537,9 +537,9 @@ void Broker::l2_enter_reconcile(const std::string& why) {
 void Broker::l2_abort_reconcile(const std::string& why) {
   if (!l2_reconciling_) return;
   l2_reconciling_ = false;
-  sim().obs().metrics.counter("reconcile.aborted", site()).inc();
+  rt().obs().metrics.counter("reconcile.aborted", site()).inc();
   WK_INFO(now(), name(), "reconcile aborted: " + why);
-  sim().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
+  rt().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
                             name(), "abort: " + why, /*key=*/"",
                             /*a=*/l2_epoch_);
   reconcile_frontiers_.clear();
@@ -554,13 +554,13 @@ void Broker::l2_abort_reconcile(const std::string& why) {
 
 void Broker::l2_finish_reconcile(const std::string& how) {
   l2_reconciling_ = false;
-  sim().obs().metrics.counter("reconcile.completed", site()).inc();
-  sim().obs().metrics.histogram("reconcile.duration_us", site())
+  rt().obs().metrics.counter("reconcile.completed", site()).inc();
+  rt().obs().metrics.histogram("reconcile.duration_us", site())
       .record(now() - reconcile_started_);
   WK_INFO(now(), name(),
           "reconciled (epoch " + std::to_string(l2_epoch_) + ", " + how +
               "); serving");
-  sim().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
+  rt().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
                             name(), "done: " + how, /*key=*/"",
                             /*a=*/l2_epoch_,
                             /*b=*/static_cast<std::uint64_t>(now() -
@@ -616,7 +616,7 @@ void Broker::l2_reconcile_check() {
             "reconcile: epoch " + std::to_string(l2_epoch_) +
                 " already minted elsewhere; re-bumping to " +
                 std::to_string(bumped));
-    sim().obs().events.record(now(), site(), obs::EventKind::kHubPromote,
+    rt().obs().events.record(now(), site(), obs::EventKind::kHubPromote,
                               name(), "re-bump during reconcile", /*key=*/"",
                               /*a=*/bumped);
     l2_epoch_ = bumped;
@@ -657,7 +657,7 @@ void Broker::l2_reconcile_check() {
     // Pathological stall (an ahead site flapping in and out of liveness):
     // serve rather than wedge forever. Logged loudly — the post-mortem
     // will show exactly what was left uncovered.
-    sim().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
+    rt().obs().events.record(now(), site(), obs::EventKind::kHubReconcile,
                               name(), "timeout: serving uncovered", /*key=*/"",
                               /*a=*/l2_epoch_);
     l2_finish_reconcile("timeout");
@@ -692,22 +692,22 @@ void Broker::l2_send_pull(SiteId dest) {
   }
   reconcile_pull_sent_[dest] = now();
   ++bstats_.reconcile_pulls;
-  sim().obs().metrics.counter("reconcile.pulls_sent", site()).inc();
+  rt().obs().metrics.counter("reconcile.pulls_sent", site()).inc();
   auto m = sim::make_mutable_message<ResyncPullMsg>();
   m->from_site = site();
   m->l2_epoch = l2_epoch_;
   m->have = down_frontier_vector();
-  m->trace = sim().obs().tracer.begin("reconcile_pull", site(), now());
-  sim().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(), now(),
+  m->trace = rt().obs().tracer.begin("reconcile_pull", site(), now());
+  rt().obs().tracer.open(m->trace, obs::SpanKind::kWanHop, dest, name(), now(),
                           "pull site " + std::to_string(site()) +
                               " <- site " + std::to_string(dest));
-  sim().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
+  rt().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
                             "pull request", /*key=*/"", /*a=*/0,
                             /*b=*/static_cast<std::uint64_t>(dest));
   transport_.send(dest, std::move(m));
   // Recovery fault point: the new hub is mid-catch-up with a pull on the
   // wire — crash here models the reconciling hub dying before it served.
-  sim().faults().fire("wk.reconcile_pull", name());
+  rt().faults().fire("wk.reconcile_pull", name());
 }
 
 void Broker::handle_resync_pull(SiteId /*from_site*/, const ResyncPullMsg& m) {
@@ -715,11 +715,11 @@ void Broker::handle_resync_pull(SiteId /*from_site*/, const ResyncPullMsg& m) {
   // A responder still following the old regime adopts the claim first
   // (lowest-site tie-breaks apply), so answering implies acknowledging.
   adopt_l2(m.from_site, m.l2_epoch);
-  sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
+  rt().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
   if (m.from_site != l2_site_ || m.l2_epoch != l2_epoch_) {
     // A superseded claimant: answer nothing; it will hear the real hub's
     // gossip and stand down on its own.
-    sim().obs().tracer.end(m.trace, now());
+    rt().obs().tracer.end(m.trace, now());
     return;
   }
   auto chunk = sim::make_mutable_message<ResyncChunkMsg>();
@@ -738,19 +738,19 @@ void Broker::handle_resync_pull(SiteId /*from_site*/, const ResyncPullMsg& m) {
   chunk->done = true;
   chunk->frontiers = down_frontier_vector();
   chunk->trace = m.trace;
-  sim().obs().tracer.open(m.trace, obs::SpanKind::kWanHop, m.from_site, name(),
+  rt().obs().tracer.open(m.trace, obs::SpanKind::kWanHop, m.from_site, name(),
                           now(),
                           "chunks site " + std::to_string(site()) +
                               " -> site " + std::to_string(m.from_site));
   transport_.send(m.from_site, std::move(chunk));
   if (shipped > 0) {
-    sim().obs().metrics.counter("reconcile.pulls_served", site()).inc();
-    sim().obs().metrics.counter("reconcile.pull_txns", site()).inc(shipped);
+    rt().obs().metrics.counter("reconcile.pulls_served", site()).inc();
+    rt().obs().metrics.counter("reconcile.pull_txns", site()).inc(shipped);
     WK_INFO(now(), name(),
             "answered reconcile pull from site " +
                 std::to_string(m.from_site) + " with " +
                 std::to_string(shipped) + " txn(s)");
-    sim().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
+    rt().obs().events.record(now(), site(), obs::EventKind::kResync, name(),
                               "pull answered", /*key=*/"", /*a=*/shipped,
                               /*b=*/static_cast<std::uint64_t>(m.from_site));
   }
@@ -772,11 +772,11 @@ void Broker::handle_resync_chunk(SiteId from_site, const ResyncChunkMsg& m) {
     propose_envelope(std::move(copy), {});
   }
   if (adopted > 0) {
-    sim().obs().metrics.counter("reconcile.pull_applied", site()).inc(adopted);
+    rt().obs().metrics.counter("reconcile.pull_applied", site()).inc(adopted);
   }
   if (m.done) {
-    sim().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
-    sim().obs().tracer.end(m.trace, now());
+    rt().obs().tracer.close(m.trace, obs::SpanKind::kWanHop, site(), now());
+    rt().obs().tracer.end(m.trace, now());
     site_last_heard_[from_site] = now();
     site_frontiers_[from_site] = m.frontiers;
     // Answering the pull implies the responder adopted our regime.
@@ -785,7 +785,7 @@ void Broker::handle_resync_chunk(SiteId from_site, const ResyncChunkMsg& m) {
   }
   // Recovery fault point: pulled txns proposed but not yet applied — crash
   // here models the reconciling hub dying mid-catch-up.
-  if (adopted > 0) sim().faults().fire("wk.reconcile_apply", name());
+  if (adopted > 0) rt().faults().fire("wk.reconcile_apply", name());
 }
 
 }  // namespace wankeeper::wk

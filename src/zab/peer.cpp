@@ -37,13 +37,11 @@ const char* role_name(Role r) {
   return "?";
 }
 
-Peer::Peer(sim::Simulator& sim, std::string name, StateMachine& sm, PeerOptions opts)
-    : Actor(sim, std::move(name)), sm_(sm), opts_(opts) {}
+Peer::Peer(rt::Runtime& rt, std::string name, StateMachine& sm, PeerOptions opts)
+    : Actor(rt, std::move(name)), sm_(sm), opts_(opts) {}
 
-void Peer::boot(sim::Network& net, std::vector<NodeId> voters,
-                std::vector<NodeId> observers, bool is_observer,
-                std::int32_t priority) {
-  net_ = &net;
+void Peer::boot(std::vector<NodeId> voters, std::vector<NodeId> observers,
+                bool is_observer, std::int32_t priority) {
   voters_ = std::move(voters);
   if (voters_.size() > 64) {
     throw std::invalid_argument("zab ensemble exceeds 64 voters");
@@ -78,7 +76,7 @@ bool Peer::is_voter(NodeId n) const {
   return std::find(voters_.begin(), voters_.end(), n) != voters_.end();
 }
 
-void Peer::send(NodeId to, sim::MessagePtr m) { net_->send(id(), to, std::move(m)); }
+void Peer::send(NodeId to, sim::MessagePtr m) { rt().send(id(), to, std::move(m)); }
 
 void Peer::reset_volatile_role_state() {
   role_ = Role::kLooking;
@@ -424,7 +422,7 @@ void Peer::handle_sync(NodeId from, const SyncMsg& m) {
   // Recovery fault point: the sync's entries are in the log but nothing is
   // committed or acked yet — crash here models a learner dying with a
   // half-adopted DIFF.
-  sim().faults().fire("zab.sync_applying", name());
+  rt().faults().fire("zab.sync_applying", name());
   if (!up()) return;
   advance_commit_frontier(m.commit_up_to);
   deliver_committed();
@@ -470,7 +468,7 @@ void Peer::establish_leadership() {
   advance_commit_frontier(sync_point_);
   deliver_committed();
   WK_INFO(now(), name(), "established leadership, epoch " + std::to_string(current_epoch_));
-  sim().obs().events.record(now(), net_->site_of(id()),
+  rt().obs().events.record(now(), rt().site_of(id()),
                             obs::EventKind::kLeaderElected, name(), "",
                             /*key=*/"", /*a=*/current_epoch_);
   for (NodeId f : synced_followers_) {
@@ -495,7 +493,7 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
   LogEntry entry{zxid, std::move(payload)};
   log_.append(entry);
   proposal_acks_.push_back(PendingProposal{zxid, voter_bit(id())});
-  proposals_ctr_.at(sim().obs().metrics, "zab.proposals", net_->site_of(id()))
+  proposals_ctr_.at(rt().obs().metrics, "zab.proposals", rt().site_of(id()))
       .inc();
   proposed_at_.emplace_back(zxid, now());
   pending_batch_.push_back(std::move(entry));
@@ -516,7 +514,7 @@ Zxid Peer::propose(std::vector<std::uint8_t> payload) {
 void Peer::flush_batch() {
   if (pending_batch_.empty() || !leading()) return;
   batch_size_hist_
-      .at(sim().obs().metrics, "zab.batch_size", net_->site_of(id()))
+      .at(rt().obs().metrics, "zab.batch_size", rt().site_of(id()))
       .record(static_cast<Time>(pending_batch_.size()));
   auto m = sim::make_mutable_message<ProposeMsg>();
   m->epoch = current_epoch_;
@@ -580,7 +578,7 @@ void Peer::request_resync() {
   }
   // Recovery fault point: the resync request is on the wire; crash here
   // models a learner dying between asking for and receiving its DIFF.
-  sim().faults().fire("zab.resync_request", name());
+  rt().faults().fire("zab.resync_request", name());
 }
 
 void Peer::handle_propose(NodeId from, const ProposeMsg& m) {
@@ -728,7 +726,7 @@ void Peer::leader_tick() {
   }
   if (live < quorum()) {
     WK_INFO(now(), name(), "lost quorum contact; stepping down");
-    sim().obs().events.record(now(), net_->site_of(id()),
+    rt().obs().events.record(now(), rt().site_of(id()),
                               obs::EventKind::kLeaderLost, name(),
                               "lost quorum contact", /*key=*/"",
                               /*a=*/current_epoch_);
@@ -775,8 +773,8 @@ void Peer::deliver_committed() {
     }
     if (!proposed_at_.empty() && proposed_at_.front().first == entry.zxid) {
       commit_latency_hist_
-          .at(sim().obs().metrics, "zab.commit_latency_us",
-              net_->site_of(id()))
+          .at(rt().obs().metrics, "zab.commit_latency_us",
+              rt().site_of(id()))
           .record(now() - proposed_at_.front().second);
       proposed_at_.pop_front();
     }

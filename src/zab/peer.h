@@ -19,7 +19,6 @@
 
 #include "common/types.h"
 #include "sim/actor.h"
-#include "sim/network.h"
 #include "zab/log.h"
 #include "zab/messages.h"
 
@@ -69,7 +68,7 @@ struct PeerOptions {
 
 class Peer : public sim::Actor {
  public:
-  Peer(sim::Simulator& sim, std::string name, StateMachine& sm,
+  Peer(rt::Runtime& rt, std::string name, StateMachine& sm,
        PeerOptions opts = {});
 
   // Wire the peer into its ensemble once all NodeIds exist. `voters` must
@@ -77,9 +76,8 @@ class Peer : public sim::Actor {
   // election ties after zxid comparison (higher wins), letting deployments
   // place the leader deterministically (the paper pins it to Virginia);
   // higher-priority peers also boot their election first.
-  void boot(sim::Network& net, std::vector<NodeId> voters,
-            std::vector<NodeId> observers, bool is_observer,
-            std::int32_t priority = 0);
+  void boot(std::vector<NodeId> voters, std::vector<NodeId> observers,
+            bool is_observer, std::int32_t priority = 0);
 
   // --- introspection ---
   Role role() const { return role_; }
@@ -175,7 +173,6 @@ class Peer : public sim::Actor {
 
   StateMachine& sm_;
   PeerOptions opts_;
-  sim::Network* net_ = nullptr;
   std::vector<NodeId> voters_;
   std::vector<NodeId> observers_;
   bool is_observer_ = false;

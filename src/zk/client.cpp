@@ -2,8 +2,8 @@
 
 namespace wankeeper::zk {
 
-Client::Client(sim::Simulator& sim, std::string name, SessionId session)
-    : Actor(sim, std::move(name)), session_(session) {}
+Client::Client(rt::Runtime& rt, std::string name, SessionId session)
+    : Actor(rt, std::move(name)), session_(session) {}
 
 void Client::connect(NodeId server, Callback cb, Time session_timeout) {
   server_ = server;
@@ -32,22 +32,22 @@ void Client::ping_tick() {
   req.session = session_;
   req.op.op = OpCode::kPing;
   req.xid = 0;
-  net_->send(id(), server_, sim::make_message<ClientRequest>(req));
+  rt().send(id(), server_, sim::make_message<ClientRequest>(req));
   set_timer(ping_interval_, [this]() { ping_tick(); });
 }
 
 void Client::send_request(ClientRequest req, Callback cb) {
   req.session = session_;
   req.xid = next_xid_++;
-  auto& tracer = sim().obs().tracer;
-  if (tracer.enabled() && net_ != nullptr) {
+  auto& tracer = rt().obs().tracer;
+  if (tracer.enabled()) {
     std::string what = op_name(req.op.op);
     if (!req.op.path.empty()) what += " " + req.op.path;
-    req.trace = tracer.begin(std::move(what), net_->site_of(id()), now());
+    req.trace = tracer.begin(std::move(what), rt().site_of(id()), now());
     pending_trace_[req.xid] = req.trace;
   }
   if (cb) pending_[req.xid] = std::move(cb);
-  net_->send(id(), server_, sim::make_message<ClientRequest>(std::move(req)));
+  rt().send(id(), server_, sim::make_message<ClientRequest>(std::move(req)));
 }
 
 void Client::create(const std::string& path, std::vector<std::uint8_t> data,
@@ -139,7 +139,7 @@ void Client::on_message(NodeId from, const sim::MessagePtr& msg) {
   (void)from;
   if (const auto* m = sim::msg_cast<ClientReply>(msg.get())) {
     if (const auto tit = pending_trace_.find(m->xid); tit != pending_trace_.end()) {
-      sim().obs().tracer.end(tit->second, now());
+      rt().obs().tracer.end(tit->second, now());
       pending_trace_.erase(tit);
     }
     const auto it = pending_.find(m->xid);

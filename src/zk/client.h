@@ -12,7 +12,6 @@
 
 #include "common/types.h"
 #include "sim/actor.h"
-#include "sim/network.h"
 #include "store/datatree.h"
 #include "store/watch.h"
 #include "zk/messages.h"
@@ -37,9 +36,7 @@ class Client : public sim::Actor {
       std::function<void(const std::string& path, store::WatchEvent event)>;
 
   // `session` must be unique across the deployment (callers hand out ids).
-  Client(sim::Simulator& sim, std::string name, SessionId session);
-
-  void set_network(sim::Network& net) { net_ = &net; }
+  Client(rt::Runtime& rt, std::string name, SessionId session);
 
   SessionId session() const { return session_; }
   NodeId server() const { return server_; }
@@ -77,7 +74,6 @@ class Client : public sim::Actor {
   void send_request(ClientRequest req, Callback cb);
   void ping_tick();
 
-  sim::Network* net_ = nullptr;
   SessionId session_;
   NodeId server_ = kNoNode;
   Xid next_xid_ = 1;

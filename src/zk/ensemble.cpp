@@ -10,9 +10,9 @@ Ensemble::Ensemble(sim::Simulator& sim, sim::Network& net,
                    const std::string& name_prefix)
     : sim_(sim), net_(net) {
   if (!server_factory) {
-    server_factory = [](sim::Simulator& s, const std::string& name,
-                        const ServerOptions& opts) {
-      return std::make_unique<Server>(s, name, opts);
+    server_factory = [](rt::Runtime& rt, const std::string& name,
+                       const ServerOptions& opts) {
+      return std::make_unique<Server>(rt, name, opts);
     };
   }
   nodes_.reserve(specs.size());
@@ -28,10 +28,9 @@ Ensemble::Ensemble(sim::Simulator& sim, sim::Network& net,
   // Register servers first, then peers in spec order: the last voter peer
   // gets the highest NodeId and wins the initial election.
   for (auto& node : nodes_) {
-    // Wire site/network before add_node: registration invokes start(),
-    // which may capture them (the WanKeeper broker binds its transport).
+    // Wire the site before add_node: registration invokes start(), which
+    // may capture it (the WanKeeper broker binds its transport).
     node.server->set_site(node.spec.site);
-    node.server->set_network(net_);
     node.server_id = net_.add_node(*node.server, node.spec.site);
   }
   std::vector<NodeId> voters;
@@ -47,7 +46,7 @@ Ensemble::Ensemble(sim::Simulator& sim, sim::Network& net,
     node.server->attach_peer(*node.peer);
     node.server->set_peer_server_map(peer_to_server);
     // Priority rises with spec order: the last voter is the intended leader.
-    node.peer->boot(net_, voters, observers, node.spec.observer,
+    node.peer->boot(voters, observers, node.spec.observer,
                     static_cast<std::int32_t>(i));
   }
 }
@@ -115,7 +114,6 @@ std::unique_ptr<Client> Ensemble::make_client(const std::string& name,
                                               SessionId session) {
   auto client = std::make_unique<Client>(sim_, name, session);
   net_.add_node(*client, site);
-  client->set_network(net_);
   client->connect(nodes_[node].server_id);
   return client;
 }

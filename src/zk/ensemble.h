@@ -27,7 +27,7 @@ class Ensemble {
   // the intended leader site's voter last.
   // `server_factory` lets WanKeeper substitute its broker subclass.
   using ServerFactory = std::function<std::unique_ptr<Server>(
-      sim::Simulator&, const std::string& name, const ServerOptions&)>;
+      rt::Runtime&, const std::string& name, const ServerOptions&)>;
 
   Ensemble(sim::Simulator& sim, sim::Network& net, std::vector<NodeSpec> specs,
            ServerOptions server_opts = {}, zab::PeerOptions peer_opts = {},

@@ -55,8 +55,8 @@ Envelope Envelope::decode(const common::Bytes& bytes) {
   return decode_reader(BufferReader(bytes.data(), bytes.size()));
 }
 
-Server::Server(sim::Simulator& sim, std::string name, ServerOptions opts)
-    : Actor(sim, std::move(name)), opts_(opts) {}
+Server::Server(rt::Runtime& rt, std::string name, ServerOptions opts)
+    : Actor(rt, std::move(name)), opts_(opts) {}
 
 void Server::start() {
   set_timer(opts_.session_check_interval, [this]() { session_expiry_tick(); });
@@ -64,7 +64,7 @@ void Server::start() {
 }
 
 void Server::on_crash() {
-  sim().obs().events.record(now(), site(), obs::EventKind::kNodeCrash, name());
+  rt().obs().events.record(now(), site(), obs::EventKind::kNodeCrash, name());
   // Connections, queues, watches, and projections are volatile. The tree
   // models the on-disk snapshot at the zab delivered frontier and survives.
   local_sessions_.clear();
@@ -77,7 +77,7 @@ void Server::on_crash() {
 }
 
 void Server::on_restart() {
-  sim().obs().events.record(now(), site(), obs::EventKind::kNodeRestart,
+  rt().obs().events.record(now(), site(), obs::EventKind::kNodeRestart,
                             name());
   set_timer(opts_.session_check_interval, [this]() { session_expiry_tick(); });
   set_timer(opts_.touch_relay_interval, [this]() { touch_relay_tick(); });
@@ -181,12 +181,12 @@ void Server::handle_client_request(NodeId from, const ClientRequest& req) {
     reply.xid = req.xid;
     reply.op = req.op.op;
     reply.rc = store::Rc::kSessionExpired;
-    net_->send(id(), from, sim::make_message<ClientReply>(reply));
+    rt().send(id(), from, sim::make_message<ClientReply>(reply));
     return;
   }
   ls->client = from;
   ls->queue.push_back(req);
-  sim().obs().tracer.open(req.trace, obs::SpanKind::kEnqueue, site(), name(),
+  rt().obs().tracer.open(req.trace, obs::SpanKind::kEnqueue, site(), name(),
                           now());
   pump_session(req.session);
 }
@@ -227,7 +227,7 @@ void Server::watch_in_flight_timeout(SessionId session, Xid xid) {
 void Server::execute_request(SessionId session, const ClientRequest& req) {
   auto* ls = local_sessions_.find(session);
   if (ls == nullptr) return;
-  sim().obs().tracer.close(req.trace, obs::SpanKind::kEnqueue, site(), now());
+  rt().obs().tracer.close(req.trace, obs::SpanKind::kEnqueue, site(), now());
   if (ls->in_flight_is_write) {
     ++stats_.writes_routed;
     route_write(req, id());
@@ -282,7 +282,7 @@ void Server::complete_request(SessionId session) {
 void Server::reply_to_session(SessionId session, const ClientReply& reply) {
   const auto* ls = local_sessions_.find(session);
   if (ls == nullptr || ls->client == kNoNode) return;
-  net_->send(id(), ls->client, sim::make_message<ClientReply>(reply));
+  rt().send(id(), ls->client, sim::make_message<ClientReply>(reply));
 }
 
 // ------------------------------------------------------------- write path
@@ -304,7 +304,7 @@ void Server::forward_to(NodeId server, const ClientRequest& req, NodeId origin_s
   auto m = sim::make_mutable_message<ForwardRequestMsg>();
   m->origin_server = origin_server;
   m->request = req;
-  net_->send(id(), server, std::move(m));
+  rt().send(id(), server, std::move(m));
 }
 
 void Server::handle_forward(NodeId from, const ForwardRequestMsg& m) {
@@ -351,7 +351,7 @@ Zxid Server::propose_envelope(Envelope env, Overlay overlay) {
   const Zxid zxid = peer_->propose(env.encode());
   if (zxid == kNoZxid) return kNoZxid;
   // Closed when this replica applies the commit (zab quorum + delivery).
-  sim().obs().tracer.open(env.trace, obs::SpanKind::kZabPropose, site(), name(),
+  rt().obs().tracer.open(env.trace, obs::SpanKind::kZabPropose, site(), name(),
                           now());
   for (auto& [path, rec] : overlay) {
     rec.zxid = zxid;
@@ -375,7 +375,7 @@ void Server::send_request_error(NodeId origin_server, SessionId session, Xid xid
   m->session = session;
   m->xid = xid;
   m->rc = rc;
-  net_->send(id(), origin_server, std::move(m));
+  rt().send(id(), origin_server, std::move(m));
 }
 
 void Server::handle_request_error(const RequestErrorMsg& m) {
@@ -560,7 +560,7 @@ void Server::apply_committed(const Envelope& env) {
   // the burst size histogram makes batching visible at the apply path.
   if (now() != last_apply_at_) {
     if (apply_burst_ > 0) {
-      apply_burst_hist_.at(sim().obs().metrics, "zk.apply_burst", site())
+      apply_burst_hist_.at(rt().obs().metrics, "zk.apply_burst", site())
           .record(static_cast<Time>(apply_burst_));
     }
     apply_burst_ = 0;
@@ -569,7 +569,7 @@ void Server::apply_committed(const Envelope& env) {
   ++apply_burst_;
   const store::Txn& txn = env.txn;
   // Pairs with the proposing leader's open; a no-op on the other replicas.
-  sim().obs().tracer.close(env.trace, obs::SpanKind::kZabPropose, site(), now());
+  rt().obs().tracer.close(env.trace, obs::SpanKind::kZabPropose, site(), now());
 
   std::vector<std::string> closed_ephemerals;
   if (txn.type == store::TxnType::kCloseSession) {
@@ -602,13 +602,13 @@ void Server::apply_committed(const Envelope& env) {
     m->session = fire.session;
     m->path = fire.path;
     m->event = fire.event;
-    net_->send(id(), ls->client, std::move(m));
+    rt().send(id(), ls->client, std::move(m));
   }
 
   // Reply if this server owns the originating request.
   auto* ls = local_sessions_.find(env.session);
   if (ls != nullptr && ls->in_flight && ls->in_flight_xid == env.xid) {
-    sim().obs().tracer.point(env.trace, obs::SpanKind::kApply, site(), name(),
+    rt().obs().tracer.point(env.trace, obs::SpanKind::kApply, site(), name(),
                              now());
     ClientReply reply;
     reply.session = env.session;
@@ -694,7 +694,7 @@ void Server::touch_relay_tick() {
     if (!live.empty()) {
       auto m = sim::make_mutable_message<SessionTouchMsg>();
       m->sessions = std::move(live);
-      net_->send(id(), leader_server_, std::move(m));
+      rt().send(id(), leader_server_, std::move(m));
     }
   }
   pinged_sessions_.clear();

@@ -22,7 +22,6 @@
 #include "common/bytes.h"
 #include "common/types.h"
 #include "sim/actor.h"
-#include "sim/network.h"
 #include "store/datatree.h"
 #include "store/txn.h"
 #include "store/watch.h"
@@ -65,11 +64,10 @@ struct ServerStats {
 
 class Server : public sim::Actor, public zab::StateMachine {
  public:
-  Server(sim::Simulator& sim, std::string name, ServerOptions opts = {});
+  Server(rt::Runtime& rt, std::string name, ServerOptions opts = {});
 
-  // --- wiring (before simulation starts) ---
+  // --- wiring (before the deployment starts) ---
   void attach_peer(zab::Peer& peer) { peer_ = &peer; }
-  void set_network(sim::Network& net) { net_ = &net; }
   // zab peer NodeId -> server NodeId, for routing forwards to the leader.
   void set_peer_server_map(std::map<NodeId, NodeId> m) { peer_to_server_ = std::move(m); }
   void set_site(SiteId site) { site_ = site; }
@@ -148,7 +146,6 @@ class Server : public sim::Actor, public zab::StateMachine {
   // Paths touched by a write request (token lookups + validation).
   static std::vector<std::string> touched_paths(const ClientRequest& req);
 
-  sim::Network& net() { return *net_; }
   const ServerOptions& options() const { return opts_; }
   store::DataTree& mutable_tree() { return tree_; }
   LocalSessions& local_sessions() { return local_sessions_; }
@@ -186,7 +183,6 @@ class Server : public sim::Actor, public zab::StateMachine {
   void session_tracker_grace();
 
   ServerOptions opts_;
-  sim::Network* net_ = nullptr;
   zab::Peer* peer_ = nullptr;
   std::map<NodeId, NodeId> peer_to_server_;
   SiteId site_ = kNoSite;

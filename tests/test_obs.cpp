@@ -59,6 +59,29 @@ TEST(MetricsRegistry, HandlesAreStableAcrossInsertions) {
   EXPECT_EQ(reg.counter("z.last").value(), 1u);
 }
 
+TEST(MetricsRegistry, MergeFromSumsCountersGaugesAndHistograms) {
+  obs::MetricsRegistry a;
+  a.counter("zab.proposals", 0).inc(5);
+  a.gauge("q.depth").set(3);
+  a.histogram("lat_us").record(100);
+
+  obs::MetricsRegistry b;
+  b.counter("zab.proposals", 0).inc(2);
+  b.counter("zab.proposals", 1).inc(4);  // site only present in b
+  b.gauge("q.depth").set(-1);
+  b.histogram("lat_us").record(900);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("zab.proposals", 0).value(), 7u);
+  EXPECT_EQ(a.counter("zab.proposals", 1).value(), 4u);
+  EXPECT_EQ(a.counter_total("zab.proposals"), 11u);
+  EXPECT_EQ(a.gauge("q.depth").value(), 2);
+  EXPECT_EQ(a.histogram("lat_us").count(), 2u);
+  EXPECT_EQ(a.histogram("lat_us").recorder().max_us(), 900);
+  // b is untouched by the fold.
+  EXPECT_EQ(b.counter_total("zab.proposals"), 6u);
+}
+
 TEST(MetricsRegistry, SnapshotSortedAndJsonDeterministic) {
   auto populate = [](obs::MetricsRegistry& reg) {
     // Insert in unsorted order; exports must sort by (name, site).

@@ -99,7 +99,7 @@ struct ZabHarness {
       (i < n ? voter_ids : observer_ids).push_back(id);
     }
     for (std::size_t i = 0; i < peers.size(); ++i) {
-      peers[i]->boot(net, voter_ids, observer_ids, i >= n,
+      peers[i]->boot(voter_ids, observer_ids, i >= n,
                      static_cast<std::int32_t>(i));
     }
   }

@@ -1,0 +1,393 @@
+// Real-hardware WanKeeper node: hosts one site (or all of them) of a
+// cluster on rt::ThreadRuntime over loopback TCP.
+//
+// Modes:
+//   wankeeper_node --launch [opts]     fork one process per site, run a
+//                                      mixed load in each, verify client
+//                                      consistency + cross-process replica
+//                                      convergence, print a JSON summary
+//   wankeeper_node --site S [opts]     one site's process (what --launch
+//                                      forks); writes a one-line JSON report
+//
+// Exit codes: 0 ok, 2 cluster never became ready, 4 consistency
+// violations, 5 load failed, 6 cross-process divergence, 7 child crashed
+// (incl. the SIGALRM watchdog that kills a wedged process).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "rt/cluster.h"
+#include "rt/thread_runtime.h"
+#include "wankeeper/consistency.h"
+#include "zk/client.h"
+
+namespace wankeeper {
+namespace {
+
+struct NodeOptions {
+  rt::ClusterConfig cluster;
+  SiteId site = kNoSite;  // >= 0: single-site process mode
+  bool launch = false;
+  std::size_t ops_per_client = 200;
+  std::size_t keys = 16;
+  std::string json_path;
+  Time ready_wait = 60 * kSecond;
+  Time settle_max = 30 * kSecond;
+};
+
+// Closed-loop mixed load for one client: alternating set_data/get_data over
+// a keyspace that is half site-private, half shared across sites (shared
+// keys force token recalls and hub round-trips). Every completed op lands
+// in the (mutex-guarded) history for the consistency checker.
+class LoadDriver {
+ public:
+  LoadDriver(rt::ThreadRuntime& rt, rt::HostedCluster& cluster,
+             const NodeOptions& opt)
+      : rt_(rt),
+        cluster_(cluster),
+        opt_(opt),
+        // The checker needs the COMPLETE history of a key's writers. A
+        // single-site process never sees the other processes' writes to
+        // shared keys, so it version-checks only its private keys; shared
+        // keys still run (they drive the token recalls) but are only
+        // counted. A process hosting every site checks everything.
+        check_shared_(cluster.local_sites().size() == opt.cluster.sites ||
+                      cluster.local_sites().empty()) {}
+
+  // Returns false if the pre-create phase or the load itself stalled.
+  bool run() {
+    if (cluster_.local_client_count() == 0) return true;
+    if (!precreate()) return false;
+    const std::size_t n = cluster_.local_client_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      zk::Client* c = &cluster_.client(i);
+      const SiteId site = cluster_.client_site(i);
+      rt_.call(c->id(), [this, c, site, i] { next_op(c, site, i, 0); });
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(120);
+    while (clients_done_.load() < static_cast<long>(n)) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return !load_failed_.load();
+  }
+
+  const wk::OpHistory& history() const { return history_; }
+  std::uint64_t ops_ok() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return history_.completed_ok() + shared_ok_;
+  }
+
+ private:
+  std::string key_for(SiteId site, std::uint64_t draw) const {
+    // Even draws: a key only this site writes; odd draws: shared keys that
+    // every site contends on.
+    if (draw % 2 == 0) {
+      return "/s" + std::to_string(site) + "-k" +
+             std::to_string((draw / 2) % opt_.keys);
+    }
+    return "/shared-k" + std::to_string((draw / 2) % opt_.keys);
+  }
+
+  bool precreate() {
+    // The first client of each local site creates that site's private keys;
+    // client 0 also creates the shared keys. Creates of already-existing
+    // shared keys lose the race across processes benignly (kNodeExists).
+    std::atomic<long> pending{0};
+    auto create = [this, &pending](zk::Client* c, std::string key) {
+      ++pending;
+      rt_.call(c->id(), [c, key = std::move(key), &pending] {
+        c->create(key, key, false, false,
+                  [&pending](const zk::ClientResult&) { --pending; });
+      });
+    };
+    std::set<SiteId> seen;
+    for (std::size_t i = 0; i < cluster_.local_client_count(); ++i) {
+      const SiteId site = cluster_.client_site(i);
+      if (!seen.insert(site).second) continue;
+      zk::Client* c = &cluster_.client(i);
+      for (std::size_t j = 0; j < opt_.keys; ++j) {
+        create(c, "/s" + std::to_string(site) + "-k" + std::to_string(j));
+        if (i == 0) create(c, "/shared-k" + std::to_string(j));
+      }
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    while (pending.load() > 0) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return true;
+  }
+
+  // Runs on the client's loop.
+  void next_op(zk::Client* c, SiteId site, std::size_t idx, std::size_t done) {
+    if (done >= opt_.ops_per_client) {
+      ++clients_done_;
+      return;
+    }
+    Rng& rng = rt_.rng();
+    const std::string key = key_for(site, rng.next());
+    const bool write = rng.chance(0.5);
+    const bool record = check_shared_ || key.rfind("/shared-", 0) != 0;
+    std::uint64_t id = 0;
+    if (record) {
+      std::lock_guard<std::mutex> lk(mu_);
+      id = history_.begin(c->session(), 0, site,
+                          write ? wk::ClientOp::Kind::kWrite
+                                : wk::ClientOp::Kind::kRead,
+                          key, rt_.now());
+    }
+    auto finish = [this, c, site, idx, done, id,
+                   record](const zk::ClientResult& r) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (record) {
+          history_.finish(id, rt_.now(), r.ok(), r.stat.version);
+        } else if (r.ok()) {
+          ++shared_ok_;
+        }
+      }
+      if (!r.ok() && r.rc != store::Rc::kBadVersion) {
+        // Under a healthy loopback cluster every op should succeed.
+        load_failed_.store(true);
+      }
+      next_op(c, site, idx, done + 1);
+    };
+    if (write) {
+      c->set_data(key, "v" + std::to_string(done), -1, std::move(finish));
+    } else {
+      c->get_data(key, false, std::move(finish));
+    }
+  }
+
+  rt::ThreadRuntime& rt_;
+  rt::HostedCluster& cluster_;
+  const NodeOptions& opt_;
+  const bool check_shared_;
+  mutable std::mutex mu_;
+  wk::OpHistory history_;
+  std::uint64_t shared_ok_ = 0;  // guarded by mu_
+  std::atomic<long> clients_done_{0};
+  std::atomic<bool> load_failed_{false};
+};
+
+void write_report(const NodeOptions& opt, SiteId site, std::uint64_t ops_ok,
+                  std::size_t violations, std::uint64_t digest,
+                  std::uint64_t frames_dropped, bool converged) {
+  std::ostringstream out;
+  out << "{\"site\":" << site << ",\"ops_ok\":" << ops_ok
+      << ",\"violations\":" << violations << ",\"digest\":\"" << std::hex
+      << digest << std::dec << "\",\"frames_dropped\":" << frames_dropped
+      << ",\"converged_locally\":" << (converged ? "true" : "false") << "}";
+  const std::string line = out.str();
+  if (!opt.json_path.empty()) {
+    std::ofstream f(opt.json_path);
+    f << line << "\n";
+  }
+  std::cout << line << std::endl;
+}
+
+int run_site(NodeOptions opt, SiteId site) {
+  // Watchdog: a wedged cluster must fail the job, not hang it.
+  alarm(300);
+  opt.cluster.seed = opt.cluster.seed * 1000 + static_cast<std::uint64_t>(site) + 1;
+  rt::ThreadRuntime trt(opt.cluster.seed);
+  std::vector<SiteId> local_sites;
+  if (site != kNoSite) local_sites.push_back(site);
+  rt::HostedCluster cluster(trt, opt.cluster, local_sites);
+  cluster.start();
+  if (!cluster.wait_ready(opt.ready_wait)) {
+    std::cerr << "site " << site << ": cluster not ready\n";
+    return 2;
+  }
+
+  LoadDriver load(trt, cluster, opt);
+  const bool load_ok = load.run();
+
+  // Settle: wait until every local replica agrees and the digest has been
+  // stable for 3 s (fan-outs from other sites may still be arriving).
+  const SiteId probe = local_sites.empty() ? SiteId{0} : local_sites[0];
+  const Time settle_deadline = trt.now() + opt.settle_max;
+  std::uint64_t stable_digest = 0;
+  Time stable_since = 0;
+  bool converged = false;
+  while (trt.now() < settle_deadline) {
+    const std::uint64_t d = cluster.tree_digest(probe);
+    if (d != 0 && d == stable_digest) {
+      if (trt.now() - stable_since >= 3 * kSecond &&
+          cluster.converged_locally()) {
+        converged = true;
+        break;
+      }
+    } else {
+      stable_digest = d;
+      stable_since = trt.now();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const auto violations = wk::ConsistencyChecker::check(load.history());
+  for (const auto& v : violations) std::cerr << v.format() << "\n";
+  write_report(opt, site, load.ops_ok(), violations.size(), stable_digest,
+               trt.frames_dropped(), converged);
+
+  if (!violations.empty()) return 4;
+  if (!load_ok || load.ops_ok() == 0) return 5;
+  if (!converged) return 6;
+  return 0;
+}
+
+std::string read_field(const std::string& json, const std::string& field) {
+  const std::string tag = "\"" + field + "\":";
+  const std::size_t at = json.find(tag);
+  if (at == std::string::npos) return {};
+  std::size_t from = at + tag.size();
+  bool quoted = from < json.size() && json[from] == '"';
+  if (quoted) ++from;
+  std::size_t to = from;
+  while (to < json.size() &&
+         (quoted ? json[to] != '"' : (json[to] != ',' && json[to] != '}'))) {
+    ++to;
+  }
+  return json.substr(from, to - from);
+}
+
+int run_launcher(const NodeOptions& opt) {
+  const std::string dir = "wankeeper_node_out";
+  (void)::system(("mkdir -p " + dir).c_str());
+  std::vector<pid_t> pids;
+  std::vector<std::string> reports;
+  for (std::size_t s = 0; s < opt.cluster.sites; ++s) {
+    const std::string path = dir + "/site" + std::to_string(s) + ".json";
+    reports.push_back(path);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 7;
+    }
+    if (pid == 0) {
+      NodeOptions child = opt;
+      child.json_path = path;
+      _exit(run_site(std::move(child), static_cast<SiteId>(s)));
+    }
+    pids.push_back(pid);
+  }
+
+  int worst = 0;
+  for (std::size_t s = 0; s < pids.size(); ++s) {
+    int status = 0;
+    if (waitpid(pids[s], &status, 0) < 0) {
+      worst = std::max(worst, 7);
+      continue;
+    }
+    if (WIFSIGNALED(status)) {
+      std::cerr << "site " << s << " killed by signal " << WTERMSIG(status)
+                << "\n";
+      worst = std::max(worst, 7);
+    } else if (WEXITSTATUS(status) != 0) {
+      std::cerr << "site " << s << " exited " << WEXITSTATUS(status) << "\n";
+      worst = std::max(worst, WEXITSTATUS(status));
+    }
+  }
+
+  // Cross-process convergence: every site's settled digest must agree.
+  std::string digest;
+  bool digests_agree = true;
+  std::uint64_t total_ops = 0;
+  std::size_t total_violations = 0;
+  for (const auto& path : reports) {
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    if (line.empty()) {
+      digests_agree = false;
+      continue;
+    }
+    const std::string d = read_field(line, "digest");
+    if (digest.empty()) {
+      digest = d;
+    } else if (d != digest) {
+      digests_agree = false;
+    }
+    total_ops += std::strtoull(read_field(line, "ops_ok").c_str(), nullptr, 10);
+    total_violations +=
+        std::strtoull(read_field(line, "violations").c_str(), nullptr, 10);
+  }
+  if (!digests_agree && worst == 0) worst = 6;
+
+  std::cout << "{\"sites\":" << opt.cluster.sites
+            << ",\"total_ops_ok\":" << total_ops
+            << ",\"total_violations\":" << total_violations
+            << ",\"digests_agree\":" << (digests_agree ? "true" : "false")
+            << ",\"exit\":" << worst << "}" << std::endl;
+  return worst;
+}
+
+}  // namespace
+}  // namespace wankeeper
+
+int main(int argc, char** argv) {
+  using namespace wankeeper;
+  NodeOptions opt;
+  opt.cluster.sites = 3;
+  opt.cluster.nodes_per_site = 2;
+  opt.cluster.clients_per_site = 2;
+  opt.cluster.base_port = 46000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--launch") {
+      opt.launch = true;
+    } else if (arg == "--site") {
+      opt.site = static_cast<SiteId>(std::stoi(next()));
+    } else if (arg == "--sites") {
+      opt.cluster.sites = std::stoul(next());
+    } else if (arg == "--nodes") {
+      opt.cluster.nodes_per_site = std::stoul(next());
+    } else if (arg == "--clients") {
+      opt.cluster.clients_per_site = std::stoul(next());
+    } else if (arg == "--base-port") {
+      opt.cluster.base_port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--ops") {
+      opt.ops_per_client = std::stoul(next());
+    } else if (arg == "--keys") {
+      opt.keys = std::stoul(next());
+    } else if (arg == "--seed") {
+      opt.cluster.seed = std::stoull(next());
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::cerr << "unknown argument " << arg << "\n";
+      return 64;
+    }
+  }
+  if (opt.launch) return run_launcher(opt);
+  if (opt.site != kNoSite) return run_site(opt, opt.site);
+  // No mode: host every site in this one process (no sockets).
+  NodeOptions single = opt;
+  single.cluster.base_port = 0;
+  return run_site(std::move(single), kNoSite);
+}
